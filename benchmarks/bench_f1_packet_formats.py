@@ -1,0 +1,60 @@
+"""F1 (slides 5-6): fixed and variable MicroPacket byte layouts.
+
+Regenerates the two layout figures byte-for-byte from the serializer and
+benchmarks the full frame pipeline (pack -> CRC -> 8b/10b -> decode).
+"""
+
+from repro.analysis import render_table
+from repro.micropacket import (
+    DmaControl,
+    Framer,
+    MicroPacket,
+    MicroPacketType,
+    layout_rows,
+)
+
+
+def fixed_packet() -> MicroPacket:
+    return MicroPacket(
+        ptype=MicroPacketType.DATA, src=0x11, dst=0x22,
+        payload=bytes(range(8)), seq=3, channel=1,
+    )
+
+
+def variable_packet() -> MicroPacket:
+    return MicroPacket(
+        ptype=MicroPacketType.DMA, src=0x11, dst=0x22,
+        payload=bytes(range(64)),
+        dma=DmaControl(channel=2, offset=0x1000, transfer_id=7),
+    )
+
+
+def test_f1_packet_format_layouts(benchmark, publish):
+    fixed_rows = layout_rows(fixed_packet())
+    var_rows = layout_rows(variable_packet())
+
+    # Slide 5: three words; word 0 control, words 1-2 payload 0..7.
+    assert len(fixed_rows) == 3
+    assert fixed_rows[0][0] == "Word 0" and "Control 0" in fixed_rows[0][4]
+    assert "Payload 7" in fixed_rows[2][1]
+    # Slide 6: nineteen words; DMA control words 1-2, payload 0..63.
+    assert len(var_rows) == 19
+    assert "DMA Ctrl 0" in var_rows[1][4]
+    assert "Payload 63" in var_rows[18][1]
+
+    # Benchmark the full wire pipeline including FC-1 coding.
+    tx, rx = Framer(), Framer()
+    pkt = fixed_packet()
+
+    def full_pipeline():
+        return rx.symbols_to_packet(tx.packet_to_symbols(pkt))
+
+    assert benchmark(full_pipeline) == pkt
+
+    headers = ["Word", "Byte 3", "Byte 2", "Byte 1", "Byte 0"]
+    text = (
+        render_table("F1a (slide 5): MicroPacket fixed format", headers, fixed_rows)
+        + "\n\n"
+        + render_table("F1b (slide 6): MicroPacket variable format", headers, var_rows)
+    )
+    publish("F1", text)

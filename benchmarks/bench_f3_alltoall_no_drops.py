@@ -1,0 +1,90 @@
+"""F3 (slide 8): simultaneous all-to-all broadcast never drops a packet.
+
+AmpNet's register-insertion ring with local-view flow control completes
+the storm with zero drops at every scale; the conventional switched-LAN
+baseline tail-drops under the same convergent burst (its TCP layer then
+pays retransmissions to recover).
+"""
+
+from repro import AmpNetCluster, ClusterConfig
+from repro.analysis import render_table
+from repro.baselines import EthConfig, EthernetFabric
+from repro.sim import Simulator
+from repro.workloads import AllToAllBroadcast
+
+NODE_COUNTS = (4, 8, 16)
+CELLS_PER_NODE = 16
+
+
+def run_ampnet(n_nodes: int):
+    cluster = AmpNetCluster(
+        config=ClusterConfig(n_nodes=n_nodes, n_switches=2)
+    )
+    cluster.start()
+    cluster.run_until_ring_up()
+    storm = AllToAllBroadcast(cluster, count_per_node=CELLS_PER_NODE)
+    horizon = cluster.sim.now + 3000 * cluster.tour_estimate_ns
+    while not storm.complete() and cluster.sim.now < horizon:
+        cluster.run(until=cluster.sim.now + 50 * cluster.tour_estimate_ns)
+    return storm
+
+
+def run_baseline(n_nodes: int):
+    sim = Simulator()
+    fabric = EthernetFabric(sim, n_nodes, EthConfig(egress_capacity=8))
+    # Broadcast storm as N-1 unicasts per cell (switched LANs replicate
+    # broadcast at the switch; the convergence pattern is identical).
+    for src in range(n_nodes):
+        for _ in range(CELLS_PER_NODE):
+            for dst in range(n_nodes):
+                if dst != src:
+                    fabric.nodes[src].send(dst, 64)
+    sim.run()
+    return fabric
+
+
+def run_experiment():
+    rows = []
+    for n in NODE_COUNTS:
+        storm = run_ampnet(n)
+        fabric = run_baseline(n)
+        rows.append(
+            (
+                n,
+                storm.expected_deliveries(),
+                storm.total_delivered(),
+                storm.total_drops(),
+                fabric.counters["offered"],
+                fabric.counters["drops"],
+            )
+        )
+    return rows
+
+
+def test_f3_alltoall_broadcast_no_drops(benchmark, publish):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for n, expected, delivered, amp_drops, _offered, eth_drops in rows:
+        # The paper's guarantee, verbatim: zero drops, storm completes.
+        assert amp_drops == 0, f"AmpNet dropped at n={n}"
+        assert delivered == expected, f"storm incomplete at n={n}"
+        # The baseline drops under the same convergent load.
+        assert eth_drops > 0, f"baseline did not drop at n={n}"
+
+    publish(
+        "F3",
+        render_table(
+            "F3 (slide 8): all-to-all broadcast storm — drops",
+            [
+                "Nodes",
+                "AmpNet expected",
+                "AmpNet delivered",
+                "AmpNet drops",
+                "Ethernet frames",
+                "Ethernet drops",
+            ],
+            rows,
+        )
+        + "\nShape: AmpNet completes every storm with zero drops; the"
+        "\ndrop-capable baseline tail-drops at every scale.",
+    )

@@ -1,0 +1,79 @@
+"""F6 (slides 14-15): dual- vs quad-redundant segment survivability.
+
+Monte-Carlo over random link/switch failures: how large a logical ring
+can rostering still construct?  Quad redundancy keeps the full ring
+through far deeper damage than dual — the reason slide 14's network is
+drawn with four switches.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.rostering import compute_roster
+
+N_NODES = 6
+TRIALS = 300
+
+
+def surviving_attachment(n_switches: int, n_failures: int, rng: random.Random):
+    """Random damage: each failure kills a random link or (1 in 6) a switch."""
+    attachment = {sw: set(range(N_NODES)) for sw in range(n_switches)}
+    for _ in range(n_failures):
+        if rng.random() < 1 / 6:
+            sw = rng.randrange(n_switches)
+            attachment[sw] = set()
+        else:
+            sw = rng.randrange(n_switches)
+            node = rng.randrange(N_NODES)
+            attachment[sw].discard(node)
+    return attachment
+
+
+def mean_ring_size(n_switches: int, n_failures: int, seed: int) -> float:
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(TRIALS):
+        attachment = surviving_attachment(n_switches, n_failures, rng)
+        roster = compute_roster(1, attachment)
+        total += roster.size if roster else 0
+    return total / TRIALS
+
+
+def run_experiment():
+    rows = []
+    for failures in (0, 1, 2, 3, 4, 6, 8, 10):
+        dual = mean_ring_size(2, failures, seed=failures)
+        quad = mean_ring_size(4, failures, seed=failures)
+        rows.append((failures, f"{dual:.2f}", f"{quad:.2f}"))
+    return rows
+
+
+def test_f6_redundancy_survivability(benchmark, publish):
+    rows = run_experiment()
+
+    # Time the core roster computation on a damaged quad segment.
+    rng = random.Random(42)
+    attachment = surviving_attachment(4, 6, rng)
+    benchmark(lambda: compute_roster(1, attachment))
+
+    # Shape: quad >= dual everywhere; gap widens with damage depth;
+    # both start at the full ring.
+    dual0, quad0 = float(rows[0][1]), float(rows[0][2])
+    assert dual0 == quad0 == N_NODES
+    for failures, dual, quad in rows:
+        assert float(quad) >= float(dual) - 1e-9, failures
+    deep = rows[-3:]
+    assert any(float(q) - float(d) > 0.5 for _f, d, q in deep), (
+        "quad redundancy should clearly win under deep damage"
+    )
+
+    publish(
+        "F6",
+        render_table(
+            "F6 (slides 14-15): mean constructible ring size vs random failures"
+            f" ({TRIALS} trials, {N_NODES} nodes)",
+            ["Failures injected", "Dual-redundant (2 switches)",
+             "Quad-redundant (4 switches)"],
+            rows,
+        ),
+    )

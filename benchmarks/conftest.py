@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper (see
+DESIGN.md section 4).  The text artefact is printed (visible with
+``pytest -s``) *and* written to ``benchmarks/results/<exp>.txt`` so the
+EXPERIMENTS.md evidence survives the run.  The pytest-benchmark fixture
+times a representative kernel of each experiment, and the bench asserts
+the paper's qualitative *shape* (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """publish(exp_id, text): print and persist a table/series."""
+
+    def _publish(exp_id: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{exp_id}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Application failover: a checkpointing "database" that never loses an
+acknowledged write (slide 19).
+
+A three-member control group runs a sequence-writer application.  Every
+completed unit is checkpointed into the replicated network cache and
+acknowledged to the client only after the checkpoint's ring tour
+confirms.  We crash the primary mid-stream and watch:
+
+* AmpDK heartbeats detect the death within a millisecond,
+* rostering heals the ring,
+* control passes to the best-qualified survivor,
+* the new primary recovers from the replicated checkpoint and continues
+  the sequence with no acknowledged write lost and no fork.
+
+Run:  python examples/failover_database.py
+"""
+
+from repro import AmpNetCluster
+from repro.analysis import fmt_ns
+from repro.hostapi import APP_REGION, CheckpointedSequenceApp, SequenceLedger
+from repro.kernel import ControlGroupConfig
+
+
+def main() -> None:
+    cluster = AmpNetCluster(n_nodes=6, n_switches=4, seed=11)
+    ledger = SequenceLedger()
+    group_cfg = ControlGroupConfig(
+        name="orders-db",
+        members=[0, 1, 2],
+        qualification={0: 9, 1: 5, 2: 1},  # node 0 best qualified
+        failover_period_ns=200_000,        # app-defined: 200 us grace
+        region=APP_REGION,
+    )
+    groups = cluster.create_control_group(
+        group_cfg, lambda node, grp: CheckpointedSequenceApp(node, grp, ledger)
+    )
+    cluster.start()
+    cluster.run_until_ring_up()
+    print(f"control group '{group_cfg.name}' members={group_cfg.members}, "
+          f"primary={groups[0].primary}")
+
+    # Let the primary commit some work.
+    cluster.run(until=cluster.sim.now + 300 * cluster.tour_estimate_ns)
+    before = ledger.last_acked
+    print(f"primary (node 0) acknowledged {before} writes")
+
+    # Kill the primary mid-stream.
+    became = groups[1].became_primary
+    t_crash = cluster.sim.now
+    cluster.crash_node(0)
+    print(f"node 0 crashed at t={fmt_ns(t_crash)}")
+    cluster.run(until=became)
+    print(f"node 1 took control after {fmt_ns(cluster.sim.now - t_crash)} "
+          f"(detection + rostering + {fmt_ns(group_cfg.failover_period_ns)}"
+          " failover period)")
+    app = groups[1].app
+    print(f"recovery rules resumed from checkpoint seq={app.recovered_from} "
+          f"(>= {before} acknowledged)")
+
+    # Keep working under the new primary.
+    cluster.run(until=cluster.sim.now + 300 * cluster.tour_estimate_ns)
+    ledger.verify_no_loss_no_fork()
+    print(f"sequence now at {ledger.last_acked}; "
+          "ledger verified: no acknowledged write lost, no fork")
+
+    # The old primary returns, refreshes its cache, and (being best
+    # qualified) takes control back — with the full state.
+    cluster.recover_node(0)
+    cluster.run_until_reroster()
+    cluster.run(until=cluster.sim.now + 500 * cluster.tour_estimate_ns)
+    ledger.verify_no_loss_no_fork()
+    print(f"node 0 re-entered, cache warm={cluster.nodes[0].refresh.warm}, "
+          f"primary={groups[0].primary}, sequence at {ledger.last_acked}")
+    print("no down time and no loss of data!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — full-system reproduction of AmpNet (Apon & Wilbur, IPPS 2003).
+
+AmpNet is a highly available cluster interconnection network: a gigabit
+register-insertion ring over Fibre Channel physics, with a replicated
+*network cache* at every node, a flooding *rostering* algorithm that
+rebuilds the largest possible logical ring within two ring-tour times of
+any failure, and millisecond application failover with no data loss.
+
+Quick start::
+
+    from repro import AmpNetCluster
+
+    cluster = AmpNetCluster(n_nodes=6, n_switches=4)
+    cluster.start()
+    cluster.run_until_ring_up()
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the paper-shape
+reproduction results.
+"""
+
+from .cluster import AmpNetCluster, ClusterConfig
+from .node import AmpNode, NodeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmpNetCluster",
+    "AmpNode",
+    "ClusterConfig",
+    "NodeConfig",
+    "__version__",
+]

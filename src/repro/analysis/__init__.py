@@ -1,0 +1,26 @@
+"""Metric extraction and text table/series rendering."""
+
+from .metrics import (
+    aggregate_latency,
+    heartbeat_detection_times,
+    ring_drop_count,
+    rostering_times,
+    total_mac_counter,
+)
+from .report import fmt_ns, fmt_rate, render_series, render_table
+from .timeline import TimelineEvent, availability_timeline, render_timeline
+
+__all__ = [
+    "TimelineEvent",
+    "aggregate_latency",
+    "availability_timeline",
+    "fmt_ns",
+    "fmt_rate",
+    "heartbeat_detection_times",
+    "render_series",
+    "render_table",
+    "render_timeline",
+    "ring_drop_count",
+    "rostering_times",
+    "total_mac_counter",
+]

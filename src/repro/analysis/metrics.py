@@ -1,0 +1,62 @@
+"""Cluster-level metric extraction used by benches and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..sim import LatencyStat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = [
+    "total_mac_counter",
+    "ring_drop_count",
+    "rostering_times",
+    "aggregate_latency",
+    "heartbeat_detection_times",
+]
+
+
+def total_mac_counter(cluster: "AmpNetCluster", name: str) -> int:
+    """Sum one MAC counter over every node."""
+    return sum(node.mac.counters[name] for node in cluster.nodes.values())
+
+
+def ring_drop_count(cluster: "AmpNetCluster") -> int:
+    """Frames dropped anywhere in the ring data plane.
+
+    The no-drop claim covers the operating ring: transit overflows and
+    switch misroutes.  (Frames in flight during a failure are not drops —
+    they are retransmitted by the messenger and counted separately.)
+    """
+    drops = total_mac_counter(cluster, "transit_overflow_drop")
+    for sw in cluster.topology.switches:
+        drops += sw.counters["no_route_drop"]
+    return drops
+
+
+def rostering_times(cluster: "AmpNetCluster", round_no: Optional[int] = None
+                    ) -> List[int]:
+    """elapsed_ns of roster_installed trace records (per node)."""
+    records = cluster.tracer.select(category="roster_installed")
+    if round_no is not None:
+        records = [r for r in records if r.data["round"] == round_no]
+    return [r.data["elapsed_ns"] for r in records]
+
+
+def aggregate_latency(cluster: "AmpNetCluster") -> LatencyStat:
+    """Pool every node's MAC delivery-latency samples."""
+    stat = LatencyStat()
+    for node in cluster.nodes.values():
+        stat.extend(node.mac.delivery_latency.samples)
+    return stat
+
+
+def heartbeat_detection_times(cluster: "AmpNetCluster") -> List[int]:
+    """Times of heartbeat-timeout triggers (roster_trigger records)."""
+    return [
+        r.time
+        for r in cluster.tracer.select(category="roster_trigger")
+        if "heartbeat" in r.data.get("reason", "")
+    ]

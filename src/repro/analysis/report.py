@@ -1,0 +1,54 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every bench regenerates its paper table/figure as text via these
+helpers, so ``pytest benchmarks/ --benchmark-only`` output doubles as
+the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "fmt_ns", "fmt_rate"]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table with a title rule, ready for stdout."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, y_label: str,
+                  points: Iterable[Sequence[object]]) -> str:
+    """A two-column series (the text form of a figure)."""
+    return render_table(title, [x_label, y_label], points)
+
+
+def fmt_ns(ns: float) -> str:
+    """Human-friendly time: ns / us / ms / s."""
+    if ns != ns:  # NaN
+        return "n/a"
+    if ns < 1_000:
+        return f"{ns:.0f} ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.1f} us"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f} ms"
+    return f"{ns / 1_000_000_000:.2f} s"
+
+
+def fmt_rate(bits_per_ns: float) -> str:
+    """bits/ns == Gbit/s."""
+    return f"{bits_per_ns:.3f} Gbit/s"

@@ -1,0 +1,22 @@
+"""Baseline comparators: conventional switched LAN, TCP-style transport,
+timeout-based failover, and a token-ring MAC ablation."""
+
+from .ethernet import EthConfig, EthFrame, EthNode, EthernetFabric
+from .tcp import TcpConfig, TcpConnection, TcpHost
+from .tcp_failover import FailoverConfig, FailoverReport, TcpFailoverPair
+from .token_ring import TokenRing, TokenRingConfig
+
+__all__ = [
+    "EthConfig",
+    "EthFrame",
+    "EthNode",
+    "EthernetFabric",
+    "FailoverConfig",
+    "FailoverReport",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpFailoverPair",
+    "TcpHost",
+    "TokenRing",
+    "TokenRingConfig",
+]

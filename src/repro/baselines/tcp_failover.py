@@ -1,0 +1,163 @@
+"""Baseline failover: primary/backup over TCP with timeout detection.
+
+The conventional-cluster contrast for slide 19.  The baseline stack:
+
+* failure detection by application heartbeats over the LAN — typical
+  production settings of the era: 100 ms to seconds of interval, with
+  several misses required before declaring death (vs AmpNet's hardware
+  carrier sense and 1 ms kernel heartbeats);
+* *asynchronous* primary->backup replication: the primary acknowledges
+  a client write after its local commit and batches replication, which
+  is how such systems achieved acceptable throughput — and exactly why
+  they lose data: everything acked but not yet replicated dies with the
+  primary.
+
+:class:`TcpFailoverPair` runs a synthetic write workload and reports
+detection latency, takeover latency and acked-but-lost writes, the three
+numbers bench F9 compares against the AmpNet control group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim import Counter, Simulator
+from .ethernet import EthConfig, EthernetFabric
+
+__all__ = ["TcpFailoverPair", "FailoverConfig", "FailoverReport"]
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """Typical conventional-cluster policy knobs."""
+
+    #: application heartbeat period (100 ms was a common default).
+    heartbeat_interval_ns: int = 100_000_000
+    #: declared dead after this many missed beats.
+    missed_beats: int = 3
+    #: replication batch flush period (async replication).
+    replication_interval_ns: int = 10_000_000
+    #: client write arrival period.
+    write_interval_ns: int = 1_000_000
+    #: bytes per write record.
+    record_bytes: int = 64
+
+
+@dataclass
+class FailoverReport:
+    crash_time: int = 0
+    detected_at: Optional[int] = None
+    takeover_at: Optional[int] = None
+    acked: int = 0
+    replicated: int = 0
+    resumed_from: int = 0
+
+    @property
+    def detection_ns(self) -> Optional[int]:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.crash_time
+
+    @property
+    def failover_ns(self) -> Optional[int]:
+        if self.takeover_at is None:
+            return None
+        return self.takeover_at - self.crash_time
+
+    @property
+    def lost_writes(self) -> int:
+        """Writes acknowledged to the client but absent on the backup."""
+        return max(0, self.acked - self.resumed_from)
+
+
+class TcpFailoverPair:
+    """Primary (node 0) and backup (node 1) on a baseline LAN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[FailoverConfig] = None,
+        eth: Optional[EthConfig] = None,
+    ):
+        self.sim = sim
+        self.config = config or FailoverConfig()
+        self.fabric = EthernetFabric(sim, 2, eth)
+        self.counters = Counter()
+        self.report = FailoverReport()
+
+        self._primary_alive = True
+        self._seq = 0              # primary's committed sequence
+        self._backup_seq = 0       # backup's replicated sequence
+        self._last_beat = 0
+        self._pending_batch: List[int] = []
+
+        sim.process(self._primary_writes(), name="tcpfo.writes")
+        sim.process(self._primary_replication(), name="tcpfo.repl")
+        sim.process(self._primary_heartbeat(), name="tcpfo.hb")
+        sim.process(self._backup_monitor(), name="tcpfo.monitor")
+        self.fabric.nodes[1].on_receive = self._backup_receive
+
+    # -------------------------------------------------------------- primary
+    def _primary_writes(self):
+        cfg = self.config
+        while self._primary_alive:
+            yield self.sim.timeout(cfg.write_interval_ns)
+            if not self._primary_alive:
+                return
+            self._seq += 1
+            # Async commit: ack the client immediately after local write.
+            self.report.acked = self._seq
+            self._pending_batch.append(self._seq)
+            self.counters.incr("writes_acked")
+
+    def _primary_replication(self):
+        cfg = self.config
+        while self._primary_alive:
+            yield self.sim.timeout(cfg.replication_interval_ns)
+            if not self._primary_alive or not self._pending_batch:
+                continue
+            batch = self._pending_batch
+            self._pending_batch = []
+            size = cfg.record_bytes * len(batch)
+            self.fabric.nodes[0].send(1, size, tag=("repl", batch[-1]))
+            self.counters.incr("batches_sent")
+
+    def _primary_heartbeat(self):
+        cfg = self.config
+        while self._primary_alive:
+            yield self.sim.timeout(cfg.heartbeat_interval_ns)
+            if not self._primary_alive:
+                return
+            self.fabric.nodes[0].send(1, 64, tag=("hb", None))
+
+    def crash_primary(self) -> None:
+        """Kill the primary (with its un-replicated batch)."""
+        self._primary_alive = False
+        self.report.crash_time = self.sim.now
+        self.counters.incr("crashes")
+
+    # --------------------------------------------------------------- backup
+    def _backup_receive(self, frame) -> None:
+        kind, value = frame.tag
+        if kind == "hb":
+            self._last_beat = self.sim.now
+        elif kind == "repl":
+            self._backup_seq = max(self._backup_seq, value)
+            self.report.replicated = self._backup_seq
+
+    def _backup_monitor(self):
+        cfg = self.config
+        timeout = cfg.heartbeat_interval_ns * cfg.missed_beats
+        self._last_beat = self.sim.now
+        while True:
+            yield self.sim.timeout(cfg.heartbeat_interval_ns)
+            if self.report.detected_at is not None:
+                return
+            if self.sim.now - self._last_beat > timeout:
+                self.report.detected_at = self.sim.now
+                # Takeover: replay the replicated log, open for business.
+                self.report.resumed_from = self._backup_seq
+                self.report.takeover_at = self.sim.now
+                self.counters.incr("takeovers")
+                return

@@ -1,0 +1,113 @@
+"""Baseline MAC: token passing on the same ring geometry (ablation A1).
+
+A register-insertion ring (AmpNet's MAC) lets every node transmit the
+moment it sees a gap; a token ring serializes the entire segment behind
+one rotating permission.  Both are drop-free, so the comparison isolates
+the *latency/throughput* value of insertion: at low load the token's
+rotation time dominates latency; at high load both saturate near line
+rate but the token ring adds per-rotation overhead.
+
+The model shares AmpNet's timing constants (same serialization, fibre
+and node-latency numbers) so A1 compares MACs, not physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+from collections import deque
+
+from ..phys.constants import (
+    NODE_TRANSIT_NS,
+    SWITCH_LATENCY_NS,
+    propagation_ns,
+    serialization_ns,
+)
+from ..sim import Counter, LatencyStat, Simulator
+
+__all__ = ["TokenRing", "TokenRingConfig"]
+
+
+@dataclass(frozen=True)
+class TokenRingConfig:
+    n_nodes: int = 8
+    fiber_m: float = 50.0
+    #: frames a station may send per token visit.
+    frames_per_token: int = 1
+    #: wire bits per frame (match AmpNet fixed cells by default).
+    frame_wire_bits: int = 200
+    #: wire bits of the token itself.
+    token_wire_bits: int = 30
+    #: hop traverses a switch (two fibre legs), matching AmpNet geometry.
+    switched: bool = True
+
+
+class TokenRing:
+    """Single-token ring MAC with per-station FIFO queues."""
+
+    def __init__(self, sim: Simulator, config: Optional[TokenRingConfig] = None):
+        self.sim = sim
+        self.config = config or TokenRingConfig()
+        if self.config.n_nodes < 2:
+            raise ValueError("token ring needs two stations")
+        self.counters = Counter()
+        self.latency = LatencyStat()
+        self._queues: Dict[int, Deque] = {
+            i: deque() for i in range(self.config.n_nodes)
+        }
+        self.on_deliver: Optional[Callable[[int, int, object], None]] = None
+        if self.config.switched:
+            # Same per-hop physics as the AmpNet cluster: node -> switch
+            # -> node, so A1 compares MAC disciplines, not geometry.
+            self._hop_ns = (
+                2 * propagation_ns(self.config.fiber_m)
+                + SWITCH_LATENCY_NS
+                + NODE_TRANSIT_NS
+            )
+        else:
+            self._hop_ns = propagation_ns(self.config.fiber_m) + NODE_TRANSIT_NS
+        sim.process(self._token_proc(), name="token-ring")
+
+    def send(self, src: int, dst: int, tag: object = None) -> None:
+        """Queue one frame at station ``src``."""
+        if src == dst:
+            raise ValueError("loopback not modelled")
+        self._queues[src].append((dst, tag, self.sim.now))
+        self.counters.incr("offered")
+
+    def backlog(self, src: int) -> int:
+        return len(self._queues[src])
+
+    def _token_proc(self):
+        sim = self.sim
+        cfg = self.config
+        station = 0
+        token_ns = serialization_ns(cfg.token_wire_bits)
+        frame_ns = serialization_ns(cfg.frame_wire_bits)
+        while True:
+            # Token arrives at `station`.
+            queue = self._queues[station]
+            sent = 0
+            while queue and sent < cfg.frames_per_token:
+                dst, tag, queued_at = queue.popleft()
+                # Frame circulates from src to dst: hop count forward.
+                hops = (dst - station) % cfg.n_nodes
+                yield sim.timeout(frame_ns)  # source serialization
+                travel = hops * self._hop_ns + hops * frame_ns
+                sim.call_in(
+                    travel,
+                    lambda s=station, d=dst, t=tag, q=queued_at: self._deliver(
+                        s, d, t, q
+                    ),
+                )
+                sent += 1
+                self.counters.incr("sent")
+            # Pass the token one hop on.
+            yield sim.timeout(token_ns + self._hop_ns)
+            station = (station + 1) % cfg.n_nodes
+
+    def _deliver(self, src: int, dst: int, tag: object, queued_at: int) -> None:
+        self.counters.incr("delivered")
+        self.latency.add(self.sim.now - queued_at)
+        if self.on_deliver is not None:
+            self.on_deliver(src, dst, tag)

@@ -1,0 +1,147 @@
+"""Cache replication: broadcasting writes, applying peers' updates.
+
+Every local write is broadcast to the ring on the CACHE channel; every
+replica applies it through the gradual DMA path of
+:meth:`~repro.cache.network_cache.NetworkCache.apply_update`.  Applies
+are serialized *per record* (the NIC has one DMA target cursor per
+record) and coalesced: if several updates for the same record queue up
+while one is being written, only the newest survives — last-writer-wins
+makes the intermediate versions unobservable anyway.
+
+Region definitions are replicated too, so services can create regions at
+runtime (AmpFiles does) and late joiners learn them from the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..sim import Counter
+from ..transport import Channel
+from .network_cache import (
+    NetworkCache,
+    RecordUpdate,
+    RegionSpec,
+    decode_update,
+    encode_update,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+    from ..transport import Messenger
+
+__all__ = ["CacheReplicator"]
+
+#: message type tags on the CACHE channel
+_TAG_UPDATE = 0
+_TAG_REGION = 1
+
+
+class CacheReplicator:
+    """Wires a NetworkCache replica to the reliable messenger."""
+
+    def __init__(self, node: "AmpNode", cache: NetworkCache, messenger: "Messenger"):
+        self.node = node
+        self.cache = cache
+        self.messenger = messenger
+        self.sim = node.sim
+        self.counters = Counter()
+        #: per-record apply serialization: key -> pending newest update
+        self._busy: Dict[Tuple[int, int], Optional[RecordUpdate]] = {}
+        #: updates for regions we have not learned yet (reordered arrival)
+        self._orphans: Dict[int, list] = {}
+        #: delivery handle of the most recent local-write broadcast —
+        #: applications use it as their durability gate (failover app)
+        self.last_handle = None
+
+        cache.on_local_write = self._broadcast_update
+        cache.on_region_defined = self._broadcast_region
+        messenger.on_message(Channel.CACHE, self._on_message)
+
+    def rebind(self, cache: NetworkCache) -> None:
+        """Attach to a fresh replica after a crash wiped NIC memory."""
+        self.cache = cache
+        self._busy.clear()
+        self._orphans.clear()
+        cache.on_local_write = self._broadcast_update
+        cache.on_region_defined = self._broadcast_region
+
+    # ----------------------------------------------------------------- out
+    def _broadcast_update(self, update: RecordUpdate) -> None:
+        from ..micropacket import BROADCAST
+
+        self.counters.incr("updates_broadcast")
+        self.last_handle = self.messenger.send(
+            BROADCAST, bytes([_TAG_UPDATE]) + encode_update(update), Channel.CACHE
+        )
+
+    def _broadcast_region(self, spec: RegionSpec) -> None:
+        from ..micropacket import BROADCAST
+
+        name_b = spec.name.encode("utf-8")
+        payload = (
+            bytes([_TAG_REGION, spec.region_id, len(name_b)])
+            + name_b
+            + spec.n_records.to_bytes(4, "little")
+            + spec.record_size.to_bytes(2, "little")
+        )
+        self.counters.incr("regions_broadcast")
+        self.messenger.send(BROADCAST, payload, Channel.CACHE)
+
+    # ------------------------------------------------------------------ in
+    def _on_message(self, src: int, payload: bytes, channel: int) -> None:
+        if src == self.node.node_id:
+            return  # our own broadcast touring back
+        tag = payload[0]
+        if tag == _TAG_REGION:
+            self._apply_region(payload[1:])
+        elif tag == _TAG_UPDATE:
+            update, _rest = decode_update(payload[1:])
+            self._enqueue_apply(update)
+        else:
+            self.counters.incr("bad_messages")
+
+    def _apply_region(self, raw: bytes) -> None:
+        region_id, name_len = raw[0], raw[1]
+        name = raw[2 : 2 + name_len].decode("utf-8")
+        rest = raw[2 + name_len :]
+        spec = RegionSpec(
+            region_id,
+            name,
+            int.from_bytes(rest[:4], "little"),
+            int.from_bytes(rest[4:6], "little"),
+        )
+        # Define without re-announcing (the announcement is circulating).
+        self.cache.define_region(spec, announce=False)
+        self.counters.incr("regions_learned")
+        for orphan in self._orphans.pop(spec.region_id, []):
+            self._enqueue_apply(orphan)
+
+    def _enqueue_apply(self, update: RecordUpdate) -> None:
+        if not self.cache.has_region_id(update.region_id):
+            # The region announcement is still in flight (retransmission
+            # reordering); hold the update until it lands.
+            self._orphans.setdefault(update.region_id, []).append(update)
+            self.counters.incr("orphan_updates")
+            return
+        key = (update.region_id, update.index)
+        if key in self._busy:
+            pending = self._busy[key]
+            if pending is None or (update.version, update.writer) > (
+                pending.version,
+                pending.writer,
+            ):
+                self._busy[key] = update
+                self.counters.incr("applies_coalesced")
+            return
+        self._busy[key] = None
+        self.sim.process(self._apply_chain(key, update))
+
+    def _apply_chain(self, key: Tuple[int, int], first: RecordUpdate):
+        update: Optional[RecordUpdate] = first
+        while update is not None:
+            yield from self.cache.apply_update(update)
+            self.counters.incr("applies_run")
+            update = self._busy.get(key)
+            self._busy[key] = None
+        del self._busy[key]

@@ -1,0 +1,242 @@
+"""Network semaphores (slide 10).
+
+    "Write conflicts are handled at the user level using AmpNet locking
+     primitives implemented in software (network semaphores)."
+
+The lock state lives in a dedicated network-cache region, so it is
+replicated everywhere and survives any failure the ring survives.  The
+serialization point is the *home node* — the lowest-id roster member.
+Requests and grants travel as D64 Atomic MicroPackets (the optional
+fixed type of slide 4: ring-ordered 64-bit atomic operations):
+
+* ``acquire`` sends an ACQ cell to the home node.  The home performs the
+  atomic test-and-set against its replica: free -> writes the requester
+  as owner (a replicated cache write) and answers with a GRANT cell;
+  held -> the requester joins the home's FIFO wait queue.
+* ``release`` sends a REL cell; the home either hands the lock to the
+  queue head (another cache write + GRANT) or writes it free.
+
+Failover: the home's wait queue is the only soft state.  When the roster
+changes, waiters re-send their pending requests to the new home, which
+reconstructs the queue; the *owner* is never lost because it is in the
+replicated cache region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+
+from ..micropacket import Flags, MicroPacket, MicroPacketType
+from ..rostering import Roster
+from ..sim import Counter, Event
+from .network_cache import NetworkCache, RegionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["SemaphoreService", "SEM_REGION", "SemaphoreError"]
+
+#: Reserved cache region holding semaphore owners.
+SEM_REGION = RegionSpec(region_id=250, name="_semaphores", n_records=256,
+                        record_size=8)
+
+_OP_ACQ = 1
+_OP_REL = 2
+_OP_GRANT = 3
+
+#: D64 channel used for semaphore traffic.
+_SEM_CHANNEL = 13
+
+_FREE = 0xFF  # owner byte value meaning "unowned"
+
+
+class SemaphoreError(Exception):
+    """Misuse: releasing a lock we do not hold, bad semaphore id."""
+
+
+class SemaphoreService:
+    """Network semaphore endpoint for one node."""
+
+    def __init__(self, node: "AmpNode", cache: NetworkCache):
+        self.node = node
+        self.cache = cache
+        self.sim = node.sim
+        self.counters = Counter()
+        cache.define_region(SEM_REGION, announce=False)
+
+        #: home-side FIFO wait queues: sem id -> requester ids
+        self._wait_queues: Dict[int, List[int]] = {}
+        #: requester-side pending acquires: sem id -> grant event
+        self._pending: Dict[int, Event] = {}
+        self.held: set = set()
+
+        node.register_handler(MicroPacketType.D64_ATOMIC, _SEM_CHANNEL, self._on_cell)
+        node.ring_up_listeners.append(self._on_ring_up)
+
+    def rebind(self, cache: NetworkCache) -> None:
+        """Attach to a fresh replica after a crash (locks we held die
+        with us; the new home's sweep frees them)."""
+        self.cache = cache
+        cache.define_region(SEM_REGION, announce=False)
+        self._wait_queues.clear()
+        self._pending.clear()
+        self.held.clear()
+
+    # ------------------------------------------------------------- helpers
+    def _home(self) -> Optional[int]:
+        roster = self.node.roster
+        if roster is None:
+            return None
+        return min(roster.members)
+
+    def _is_home(self) -> bool:
+        return self._home() == self.node.node_id
+
+    def _owner_of(self, sem_id: int) -> int:
+        # Record layout: byte 0 = owner id, byte 1 = owned flag (so that
+        # node 0 as owner is distinguishable from a never-written record).
+        ok, data, _v = self.cache.try_read(SEM_REGION.name, sem_id)
+        if not ok or len(data) < 2 or data[1] == 0:
+            return _FREE
+        return data[0]
+
+    def _write_owner(self, sem_id: int, owner: int) -> None:
+        owned = 0 if owner == _FREE else 1
+        record = bytes([owner & 0xFF, owned]) + b"\x00" * 6
+        self.cache.write(SEM_REGION.name, sem_id, record)
+
+    def _cell(self, dst: int, op: int, sem_id: int, arg: int = 0) -> MicroPacket:
+        return MicroPacket(
+            ptype=MicroPacketType.D64_ATOMIC,
+            src=self.node.node_id,
+            dst=dst,
+            channel=_SEM_CHANNEL,
+            flags=Flags.PRIORITY,
+            payload=bytes([op]) + sem_id.to_bytes(2, "little") + bytes([arg]),
+        )
+
+    # ---------------------------------------------------------------- user
+    def acquire(self, sem_id: int, timeout_ns: Optional[int] = None) -> Generator:
+        """Acquire a semaphore; yield from inside a process.
+
+        Returns True on grant, False on timeout.
+        """
+        if not 0 <= sem_id < SEM_REGION.n_records:
+            raise SemaphoreError(f"semaphore id {sem_id} out of range")
+        if sem_id in self.held:
+            raise SemaphoreError(f"semaphore {sem_id} already held")
+        if sem_id in self._pending:
+            raise SemaphoreError(f"acquire of {sem_id} already pending")
+        grant = self.sim.event()
+        self._pending[sem_id] = grant
+        self.counters.incr("acquire_requests")
+        self._send_request(sem_id)
+        if timeout_ns is None:
+            yield grant
+            self.held.add(sem_id)
+            return True
+        result = yield self.sim.any_of([grant, self.sim.timeout(timeout_ns)])
+        if grant.triggered:
+            self.held.add(sem_id)
+            return True
+        self._pending.pop(sem_id, None)
+        self.counters.incr("acquire_timeouts")
+        return False
+
+    def release(self, sem_id: int) -> None:
+        if sem_id not in self.held:
+            raise SemaphoreError(f"semaphore {sem_id} not held")
+        self.held.discard(sem_id)
+        self.counters.incr("releases")
+        if self._is_home():
+            self._home_release(sem_id, self.node.node_id)
+        else:
+            self.node.mac.send(self._cell(self._home(), _OP_REL, sem_id))
+
+    def _send_request(self, sem_id: int) -> None:
+        home = self._home()
+        if home is None:
+            return  # ring down: re-sent on ring up
+        if home == self.node.node_id:
+            self._home_acquire(sem_id, self.node.node_id)
+        else:
+            self.node.mac.send(self._cell(home, _OP_ACQ, sem_id))
+
+    # ---------------------------------------------------------------- home
+    def _home_acquire(self, sem_id: int, requester: int) -> None:
+        owner = self._owner_of(sem_id)
+        if owner == _FREE:
+            self._write_owner(sem_id, requester)
+            self.counters.incr("grants")
+            self._grant(sem_id, requester)
+        else:
+            queue = self._wait_queues.setdefault(sem_id, [])
+            if requester not in queue and requester != owner:
+                queue.append(requester)
+                self.counters.incr("queued")
+
+    def _home_release(self, sem_id: int, releaser: int) -> None:
+        owner = self._owner_of(sem_id)
+        if owner != releaser:
+            self.counters.incr("bad_releases")
+            return
+        queue = self._wait_queues.get(sem_id, [])
+        # Skip waiters that left the roster while queued.
+        roster = self.node.roster
+        live = set(roster.members) if roster else set()
+        while queue:
+            nxt = queue.pop(0)
+            if nxt in live:
+                self._write_owner(sem_id, nxt)
+                self.counters.incr("grants")
+                self._grant(sem_id, nxt)
+                return
+        self._write_owner(sem_id, _FREE)
+
+    def _grant(self, sem_id: int, requester: int) -> None:
+        if requester == self.node.node_id:
+            self._on_grant(sem_id)
+        else:
+            self.node.mac.send(self._cell(requester, _OP_GRANT, sem_id))
+
+    # ------------------------------------------------------------- receive
+    def _on_cell(self, pkt: MicroPacket, frame) -> None:
+        op = pkt.payload[0]
+        sem_id = int.from_bytes(pkt.payload[1:3], "little")
+        if op == _OP_ACQ and self._is_home():
+            self._home_acquire(sem_id, pkt.src)
+        elif op == _OP_REL and self._is_home():
+            self._home_release(sem_id, pkt.src)
+        elif op == _OP_GRANT:
+            self._on_grant(sem_id)
+
+    def _on_grant(self, sem_id: int) -> None:
+        grant = self._pending.pop(sem_id, None)
+        if grant is not None and not grant.triggered:
+            grant.succeed()
+        self.counters.incr("grants_received")
+
+    # ------------------------------------------------------------ failover
+    def _on_ring_up(self, roster: Roster) -> None:
+        # New home: waiters re-issue their requests; stale queues die with
+        # the old home's soft state.
+        if not self._is_home():
+            self._wait_queues.clear()
+        else:
+            self._break_dead_owners(roster)
+        for sem_id in list(self._pending):
+            self._send_request(sem_id)
+
+    def _break_dead_owners(self, roster: Roster) -> None:
+        """Home sweep: locks held by departed nodes are forcibly freed.
+
+        The owner is replicated state, so the new home sees it; waiters
+        re-request right after ring-up, rebuilding the queue before any
+        new grants can starve them.
+        """
+        live = set(roster.members)
+        for sem_id in range(SEM_REGION.n_records):
+            owner = self._owner_of(sem_id)
+            if owner != _FREE and owner not in live:
+                self.counters.incr("locks_broken")
+                self._write_owner(sem_id, _FREE)

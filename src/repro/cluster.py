@@ -1,0 +1,255 @@
+"""AmpNetCluster: the high-level facade assembling the whole system.
+
+A cluster owns the simulator, the redundant physical topology, every
+:class:`~repro.node.AmpNode` with its full software stack, and the fault
+injection handles.  Most examples and every benchmark start here::
+
+    from repro import AmpNetCluster
+
+    cluster = AmpNetCluster(n_nodes=6, n_switches=4, fiber_m=50.0)
+    cluster.start()
+    cluster.run_until_ring_up()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from .cache import (
+    CacheReplicator,
+    NetworkCache,
+    RefreshService,
+    RegionSpec,
+    SemaphoreService,
+)
+from .kernel import (
+    AmpDK,
+    AmpDKConfig,
+    AssimilationTracker,
+    ControlGroup,
+    ControlGroupConfig,
+    GroupApp,
+)
+from .node import AmpNode, NodeConfig
+from .phys import PhysicalTopology, build_switched, ring_tour_estimate_ns
+from .ring import FlowControlConfig
+from .hostapi import AmpDC
+from .services import AmpFiles, AmpIP, AmpSubscribe, AmpThreads
+from .rostering import Roster, RosterConfig
+from .sim import SimulationError, Simulator, Tracer
+from .transport import Messenger
+
+__all__ = ["AmpNetCluster", "ClusterConfig"]
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster-wide knobs with sensible slide-14 defaults."""
+
+    n_nodes: int = 6
+    n_switches: int = 4
+    fiber_m: float = 50.0
+    seed: int = 0
+    trace: bool = True
+    node: NodeConfig = field(default_factory=NodeConfig)
+    ampdk: AmpDKConfig = field(default_factory=AmpDKConfig)
+    #: Cache regions every node defines at power-on (beyond built-ins).
+    regions: List[RegionSpec] = field(default_factory=list)
+    #: Override the computed report window (ns); None = one tour estimate.
+    report_window_ns: Optional[int] = None
+
+
+class AmpNetCluster:
+    """Builds and runs a complete AmpNet segment."""
+
+    def __init__(
+        self,
+        n_nodes: int = 6,
+        n_switches: int = 4,
+        fiber_m: float = 50.0,
+        seed: int = 0,
+        config: Optional[ClusterConfig] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        if config is None:
+            config = ClusterConfig(
+                n_nodes=n_nodes, n_switches=n_switches, fiber_m=fiber_m, seed=seed
+            )
+        self.config = config
+        # Segments joined by a router (slide 15) share one simulator.
+        self.sim = sim if sim is not None else Simulator(seed=config.seed)
+        self.tracer = Tracer(enabled=config.trace)
+        self.topology: PhysicalTopology = build_switched(
+            self.sim, config.n_nodes, config.n_switches, config.fiber_m,
+            tracer=self.tracer,
+        )
+        self.tour_estimate_ns = ring_tour_estimate_ns(
+            config.n_nodes, config.fiber_m
+        )
+        window = config.report_window_ns or self.tour_estimate_ns
+
+        self.nodes: Dict[int, AmpNode] = {}
+        self.kernels: Dict[int, AmpDK] = {}
+        self.control_groups: Dict[str, Dict[int, ControlGroup]] = {}
+        ampdk_cfg = replace(config.ampdk, tour_estimate_ns=self.tour_estimate_ns)
+        for node_id in self.topology.node_ids:
+            node_cfg = replace(
+                config.node,
+                roster=replace(config.node.roster, report_window_ns=window),
+            )
+            node = AmpNode(
+                self.sim, node_id, self.topology.ports_of(node_id),
+                node_cfg, self.tracer,
+            )
+            node.agent.switch_configurator = self._configure_switches
+            self.nodes[node_id] = node
+            self.kernels[node_id] = AmpDK(node, ampdk_cfg)
+            self._build_stack(node)
+
+    def _build_stack(self, node: AmpNode) -> None:
+        """Attach messenger, cache replica and services to a node."""
+        node.messenger = Messenger(node)
+        node.cache = NetworkCache(self.sim, node.node_id)
+        for spec in self.config.regions:
+            node.cache.define_region(spec, announce=False)
+        node.replicator = CacheReplicator(node, node.cache, node.messenger)
+        node.refresh = RefreshService(node, node.cache, node.messenger)
+        node.sems = SemaphoreService(node, node.cache)
+        node.amp_dc = AmpDC(node, node.messenger)
+        node.subscribe = AmpSubscribe(node)
+        node.files = AmpFiles(node)
+        node.threads = AmpThreads(node)
+        node.ip = AmpIP(node)
+        node.assimilation = AssimilationTracker(node)
+        # First boot: every replica is identically empty, hence warm.
+        node.refresh.warm = True
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Boot every node (they self-organize into a ring)."""
+        for node in self.nodes.values():
+            node.boot()
+
+    def run(self, until=None):
+        return self.sim.run(until=until)
+
+    def run_until_ring_up(
+        self,
+        timeout_ns: Optional[int] = None,
+        beyond_round: Optional[int] = None,
+    ) -> int:
+        """Advance until every live node is ring-operational; returns now.
+
+        ``beyond_round`` waits for a roster *newer* than the given round —
+        use it after injecting a fault so the call does not return on the
+        pre-fault ring that is still momentarily standing.
+
+        Raises ``SimulationError`` if the horizon passes first.
+        """
+        # Default horizon covers both slow-fibre topologies (many tours)
+        # and the fixed millisecond heartbeat backstop that node-crash
+        # detection rides on.
+        default_horizon = max(200 * self.tour_estimate_ns, 20_000_000)
+        horizon = self.sim.now + (timeout_ns or default_horizon)
+        step = max(self.tour_estimate_ns // 4, 1_000)
+        while self.sim.now < horizon:
+            if self.all_rings_up(beyond_round=beyond_round):
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step, horizon))
+        if self.all_rings_up(beyond_round=beyond_round):
+            return self.sim.now
+        raise SimulationError("ring did not come up before the horizon")
+
+    def run_until_reroster(self, timeout_ns: Optional[int] = None) -> int:
+        """Advance until a roster newer than the current one is installed."""
+        current = self.current_roster()
+        beyond = current.round_no if current is not None else None
+        return self.run_until_ring_up(timeout_ns=timeout_ns, beyond_round=beyond)
+
+    def all_rings_up(self, beyond_round: Optional[int] = None) -> bool:
+        live = [n for n in self.nodes.values() if not n.failed]
+        if not live:
+            return False
+        if not all(n.ring_up and n.roster is not None for n in live):
+            return False
+        rounds = {n.roster.round_no for n in live}
+        if len(rounds) != 1:
+            return False
+        if beyond_round is not None and rounds == {beyond_round}:
+            return False
+        return True
+
+    # -------------------------------------------------------- control plane
+    def _configure_switches(
+        self, maps: Dict[int, Dict[int, int]], roster: Roster
+    ) -> None:
+        """Install crossconnects for a new roster (master control path)."""
+        for sw in self.topology.switches:
+            if sw.failed:
+                continue
+            sw.configure_ring(maps.get(sw.switch_id, {}))
+            sw.reset_flood_cache()
+
+    # -------------------------------------------------------------- faults
+    def crash_node(self, node_id: int) -> None:
+        """Power-fail a node: software stops, lasers go dark, NIC memory
+        (and with it the local cache replica) is lost."""
+        node = self.nodes[node_id]
+        node.crash()
+        fresh = NetworkCache(self.sim, node_id)
+        for spec in self.config.regions:
+            fresh.define_region(spec, announce=False)
+        node.cache = fresh
+        node.messenger.reset()
+        node.replicator.rebind(fresh)
+        node.refresh.rebind(fresh)
+        node.sems.rebind(fresh)
+        for group in self.control_groups.values():
+            member = group.get(node_id)
+            if member is not None:
+                member.crash_cleanup()
+        self.topology.node_dark(node_id)
+
+    def recover_node(self, node_id: int) -> None:
+        """Power the node back on and have it seek assimilation."""
+        self.topology.node_lit(node_id)
+        node = self.nodes[node_id]
+        node.recover()
+        node.assimilation.mark_join_request()
+        node.join_existing()
+
+    # -------------------------------------------------------- applications
+    def create_control_group(
+        self,
+        config: ControlGroupConfig,
+        app_factory,
+    ) -> Dict[int, ControlGroup]:
+        """Instantiate a control group on every member node."""
+        members: Dict[int, ControlGroup] = {}
+        for node_id in config.members:
+            members[node_id] = ControlGroup(self.nodes[node_id], config, app_factory)
+        self.control_groups[config.name] = members
+        return members
+
+    def cut_link(self, node_id: int, switch_id: int) -> None:
+        self.topology.cut_link(node_id, switch_id)
+
+    def restore_link(self, node_id: int, switch_id: int) -> None:
+        self.topology.restore_link(node_id, switch_id)
+
+    def fail_switch(self, switch_id: int) -> None:
+        self.topology.fail_switch(switch_id)
+
+    def repair_switch(self, switch_id: int) -> None:
+        self.topology.repair_switch(switch_id)
+
+    # ------------------------------------------------------------- queries
+    def current_roster(self) -> Optional[Roster]:
+        for node in self.nodes.values():
+            if not node.failed and node.roster is not None and node.ring_up:
+                return node.roster
+        return None
+
+    def live_nodes(self) -> List[AmpNode]:
+        return [n for n in self.nodes.values() if not n.failed]

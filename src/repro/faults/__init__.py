@@ -1,0 +1,23 @@
+"""Fault injection: scripted schedules and named scenarios."""
+
+from .injector import FaultAction, FaultKind, FaultSchedule
+from .scenarios import (
+    crash_and_rejoin,
+    double_fault,
+    primary_crash,
+    rolling_switch_failures,
+    single_link_cut,
+    switch_blackout,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultKind",
+    "FaultSchedule",
+    "crash_and_rejoin",
+    "double_fault",
+    "primary_crash",
+    "rolling_switch_failures",
+    "single_link_cut",
+    "switch_blackout",
+]

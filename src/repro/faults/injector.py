@@ -1,0 +1,112 @@
+"""Scripted fault injection.
+
+A :class:`FaultSchedule` is a list of timed fault actions applied to an
+:class:`~repro.cluster.AmpNetCluster`.  Schedules are plain data, so the
+benchmarks and tests can describe failure scenarios declaratively and
+reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, TYPE_CHECKING
+
+from ..sim import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = ["FaultKind", "FaultAction", "FaultSchedule"]
+
+
+class FaultKind(Enum):
+    CUT_LINK = "cut_link"
+    RESTORE_LINK = "restore_link"
+    FAIL_SWITCH = "fail_switch"
+    REPAIR_SWITCH = "repair_switch"
+    CRASH_NODE = "crash_node"
+    RECOVER_NODE = "recover_node"
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault at one instant."""
+
+    at_ns: int
+    kind: FaultKind
+    #: node id for node/link faults; switch id for switch faults
+    target: int
+    #: switch id for link faults
+    switch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        link_kinds = (FaultKind.CUT_LINK, FaultKind.RESTORE_LINK)
+        if self.kind in link_kinds and self.switch is None:
+            raise ValueError(f"{self.kind.value} needs a switch id")
+        if self.at_ns < 0:
+            raise ValueError("fault time must be non-negative")
+
+    def apply(self, cluster: "AmpNetCluster") -> None:
+        if self.kind == FaultKind.CUT_LINK:
+            cluster.cut_link(self.target, self._switch())
+        elif self.kind == FaultKind.RESTORE_LINK:
+            cluster.restore_link(self.target, self._switch())
+        elif self.kind == FaultKind.FAIL_SWITCH:
+            cluster.fail_switch(self.target)
+        elif self.kind == FaultKind.REPAIR_SWITCH:
+            cluster.repair_switch(self.target)
+        elif self.kind == FaultKind.CRASH_NODE:
+            cluster.crash_node(self.target)
+        elif self.kind == FaultKind.RECOVER_NODE:
+            cluster.recover_node(self.target)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(self.kind)
+
+    def _switch(self) -> int:
+        if self.switch is None:
+            raise ValueError(f"{self.kind.value} needs a switch id")
+        return self.switch
+
+
+@dataclass
+class FaultSchedule:
+    """A reproducible failure scenario."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+    counters: Counter = field(default_factory=Counter)
+
+    def add(self, action: FaultAction) -> "FaultSchedule":
+        self.actions.append(action)
+        return self
+
+    def cut_link(self, at_ns: int, node: int, switch: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.CUT_LINK, node, switch))
+
+    def restore_link(self, at_ns: int, node: int, switch: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.RESTORE_LINK, node, switch))
+
+    def fail_switch(self, at_ns: int, switch: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.FAIL_SWITCH, switch))
+
+    def repair_switch(self, at_ns: int, switch: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.REPAIR_SWITCH, switch))
+
+    def crash_node(self, at_ns: int, node: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.CRASH_NODE, node))
+
+    def recover_node(self, at_ns: int, node: int) -> "FaultSchedule":
+        return self.add(FaultAction(at_ns, FaultKind.RECOVER_NODE, node))
+
+    def arm(self, cluster: "AmpNetCluster") -> None:
+        """Schedule every action on the cluster's simulator."""
+        for action in sorted(self.actions, key=lambda a: a.at_ns):
+            def fire(a: FaultAction = action) -> None:
+                a.apply(cluster)
+                self.counters.incr(a.kind.value)
+                cluster.tracer.record(
+                    cluster.sim.now, "fault", "injector",
+                    kind=a.kind.value, target=a.target, switch=a.switch,
+                )
+
+            cluster.sim.call_at(action.at_ns, fire)

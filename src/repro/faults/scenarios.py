@@ -1,0 +1,82 @@
+"""Named failure scenarios used by tests and benchmarks.
+
+Each factory returns a :class:`~repro.faults.injector.FaultSchedule`
+describing a reproducible storyline against a quad-redundant slide-14
+cluster.  Times are expressed in multiples of the cluster's ring-tour
+estimate so the same scenario scales with topology parameters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .injector import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = [
+    "single_link_cut",
+    "switch_blackout",
+    "rolling_switch_failures",
+    "primary_crash",
+    "crash_and_rejoin",
+    "double_fault",
+]
+
+
+def _tour(cluster: "AmpNetCluster") -> int:
+    return cluster.tour_estimate_ns
+
+
+def single_link_cut(cluster: "AmpNetCluster", node: int = 0,
+                    after_tours: int = 20) -> FaultSchedule:
+    """Cut one node's active-hop fibre once the ring is steady."""
+    roster = cluster.current_roster()
+    switch = roster.hop_switch_from(node) if roster else 0
+    return FaultSchedule().cut_link(after_tours * _tour(cluster), node, switch)
+
+
+def switch_blackout(cluster: "AmpNetCluster", switch: int = 0,
+                    after_tours: int = 20) -> FaultSchedule:
+    """An entire switch loses power."""
+    return FaultSchedule().fail_switch(after_tours * _tour(cluster), switch)
+
+
+def rolling_switch_failures(cluster: "AmpNetCluster",
+                            gap_tours: int = 60) -> FaultSchedule:
+    """Switches die one after another until a single survivor remains."""
+    sched = FaultSchedule()
+    tour = _tour(cluster)
+    for i, sw in enumerate(range(len(cluster.topology.switches) - 1)):
+        sched.fail_switch((i + 1) * gap_tours * tour, sw)
+    return sched
+
+
+def primary_crash(cluster: "AmpNetCluster", node: int = 0,
+                  after_tours: int = 50) -> FaultSchedule:
+    """Crash the (by convention) primary node of a control group."""
+    return FaultSchedule().crash_node(after_tours * _tour(cluster), node)
+
+
+def crash_and_rejoin(cluster: "AmpNetCluster", node: int = 2,
+                     crash_tours: int = 40,
+                     rejoin_tours: int = 200) -> FaultSchedule:
+    """Node crashes, then powers back up and seeks assimilation."""
+    tour = _tour(cluster)
+    return (
+        FaultSchedule()
+        .crash_node(crash_tours * tour, node)
+        .recover_node(rejoin_tours * tour, node)
+    )
+
+
+def double_fault(cluster: "AmpNetCluster", after_tours: int = 30) -> FaultSchedule:
+    """A switch dies and, mid-rostering, a node's link to the next-best
+    switch is cut — the overlapping-failure stress case."""
+    tour = _tour(cluster)
+    return (
+        FaultSchedule()
+        .fail_switch(after_tours * tour, 0)
+        .cut_link(after_tours * tour + tour // 2, 1, 1)
+    )

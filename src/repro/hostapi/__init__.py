@@ -1,0 +1,17 @@
+"""Host-side APIs: AmpDC registered memory, MPI-like message passing,
+and the canonical checkpointing failover application."""
+
+from .amp_dc import AmpDC, HostRegion, RegionError
+from .failover_app import APP_REGION, CheckpointedSequenceApp, SequenceLedger
+from .mpi_like import MPIEndpoint, ReduceOp
+
+__all__ = [
+    "APP_REGION",
+    "AmpDC",
+    "CheckpointedSequenceApp",
+    "HostRegion",
+    "MPIEndpoint",
+    "ReduceOp",
+    "RegionError",
+    "SequenceLedger",
+]

@@ -1,0 +1,180 @@
+"""MPI-like message passing over AmpNet (slide 12's MPI/PVM slot).
+
+The paper's stack runs MPI over sockets over AmpIP; we provide the
+message-passing semantics directly over the reliable messenger: blocking
+point-to-point with tags, plus barrier / broadcast / gather / allreduce
+collectives.  All calls are simulation processes (``yield from`` them).
+
+A communicator's membership is fixed at creation (like MPI_COMM_WORLD);
+collectives must be invoked in the same order by every member, exactly
+as the MPI standard requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..micropacket import BROADCAST
+from ..sim import Counter, Event
+from ..transport import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["MPIEndpoint", "ReduceOp"]
+
+# message kinds
+_PT2PT = 0
+_BARRIER = 1
+_BCAST = 2
+_GATHER = 3
+_ALLREDUCE = 4
+
+
+class ReduceOp:
+    """Reduction operators for allreduce."""
+
+    SUM = staticmethod(lambda a, b: a + b)
+    MAX = staticmethod(max)
+    MIN = staticmethod(min)
+
+
+def _encode(kind: int, coll_id: int, tag: int, payload: bytes) -> bytes:
+    return (
+        bytes([kind])
+        + coll_id.to_bytes(4, "little")
+        + tag.to_bytes(4, "little", signed=True)
+        + payload
+    )
+
+
+def _decode(raw: bytes) -> Tuple[int, int, int, bytes]:
+    return (
+        raw[0],
+        int.from_bytes(raw[1:5], "little"),
+        int.from_bytes(raw[5:9], "little", signed=True),
+        raw[9:],
+    )
+
+
+class MPIEndpoint:
+    """One rank of the communicator, bound to an AmpNode."""
+
+    def __init__(self, node: "AmpNode", ranks: List[int]):
+        if node.node_id not in ranks:
+            raise ValueError("node is not a member of this communicator")
+        self.node = node
+        self.sim = node.sim
+        self.ranks = sorted(ranks)
+        self.rank = node.node_id
+        self.counters = Counter()
+
+        #: received-but-unclaimed messages: (kind, coll_id, tag, src) queues
+        self._inbox: Dict[Tuple[int, int, int, int], Deque[bytes]] = {}
+        #: waiting receivers: same key -> events
+        self._waiters: Dict[Tuple[int, int, int, int], List[Event]] = {}
+        self._coll_seq: Dict[int, int] = {k: 0 for k in
+                                          (_BARRIER, _BCAST, _GATHER, _ALLREDUCE)}
+        node.messenger.on_message(Channel.MPI, self._on_message)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    # ------------------------------------------------------------ plumbing
+    def _on_message(self, src: int, raw: bytes, channel: int) -> None:
+        kind, coll_id, tag, payload = _decode(raw)
+        key = (kind, coll_id, tag, src)
+        self._inbox.setdefault(key, deque()).append(payload)
+        waiters = self._waiters.get(key)
+        if waiters:
+            waiters.pop(0).succeed()
+
+    def _take(self, kind: int, coll_id: int, tag: int, src: int):
+        """Process: wait for and pop one matching message."""
+        key = (kind, coll_id, tag, src)
+        while True:
+            queue = self._inbox.get(key)
+            if queue:
+                payload = queue.popleft()
+                return payload
+            ev = self.sim.event()
+            self._waiters.setdefault(key, []).append(ev)
+            yield ev
+
+    def _post(self, dst: int, kind: int, coll_id: int, tag: int, payload: bytes):
+        return self.node.messenger.send(
+            dst, _encode(kind, coll_id, tag, payload), Channel.MPI
+        )
+
+    # ---------------------------------------------------------- point-to-point
+    def send(self, dst: int, payload: bytes, tag: int = 0):
+        """Post a message; returns the delivery handle (non-blocking)."""
+        if dst not in self.ranks:
+            raise ValueError(f"rank {dst} not in communicator")
+        self.counters.incr("sends")
+        return self._post(dst, _PT2PT, 0, tag, payload)
+
+    def recv(self, src: int, tag: int = 0):
+        """Blocking receive (process): returns the payload bytes."""
+        self.counters.incr("recvs")
+        payload = yield from self._take(_PT2PT, 0, tag, src)
+        return payload
+
+    # ------------------------------------------------------------ collectives
+    def barrier(self):
+        """Process: returns when every rank has entered the barrier."""
+        coll_id = self._next(_BARRIER)
+        self._post(BROADCAST, _BARRIER, coll_id, 0, b"\x01")
+        for peer in self.ranks:
+            if peer == self.rank:
+                continue
+            yield from self._take(_BARRIER, coll_id, 0, peer)
+        self.counters.incr("barriers")
+
+    def bcast(self, root: int, payload: Optional[bytes] = None):
+        """Process: root supplies payload; every rank returns it."""
+        coll_id = self._next(_BCAST)
+        if self.rank == root:
+            if payload is None:
+                raise ValueError("root must supply a payload")
+            self._post(BROADCAST, _BCAST, coll_id, 0, payload)
+            result = payload
+        else:
+            result = yield from self._take(_BCAST, coll_id, 0, root)
+        self.counters.incr("bcasts")
+        return result
+
+    def gather(self, root: int, payload: bytes):
+        """Process: root returns {rank: payload}; others return None."""
+        coll_id = self._next(_GATHER)
+        if self.rank == root:
+            out = {self.rank: payload}
+            for peer in self.ranks:
+                if peer == self.rank:
+                    continue
+                out[peer] = yield from self._take(_GATHER, coll_id, 0, peer)
+            self.counters.incr("gathers")
+            return out
+        self._post(root, _GATHER, coll_id, 0, payload)
+        self.counters.incr("gathers")
+        return None
+
+    def allreduce(self, value: int, op: Callable[[Any, Any], Any] = ReduceOp.SUM):
+        """Process: reduce 64-bit signed ints across all ranks."""
+        coll_id = self._next(_ALLREDUCE)
+        mine = value.to_bytes(8, "little", signed=True)
+        self._post(BROADCAST, _ALLREDUCE, coll_id, 0, mine)
+        acc = value
+        for peer in self.ranks:
+            if peer == self.rank:
+                continue
+            raw = yield from self._take(_ALLREDUCE, coll_id, 0, peer)
+            acc = op(acc, int.from_bytes(raw, "little", signed=True))
+        self.counters.incr("allreduces")
+        return acc
+
+    def _next(self, kind: int) -> int:
+        self._coll_seq[kind] += 1
+        return self._coll_seq[kind]

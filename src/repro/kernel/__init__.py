@@ -1,0 +1,18 @@
+"""AmpDK: the distributed kernel (heartbeats, certification, assimilation,
+control groups) — slides 17-19."""
+
+from .ampdk import AmpDK, AmpDKConfig, CERTIFY_CHANNEL, HEARTBEAT_CHANNEL
+from .assimilation import AssimilationPolicy, AssimilationTracker
+from .control_group import ControlGroup, ControlGroupConfig, GroupApp
+
+__all__ = [
+    "AmpDK",
+    "AmpDKConfig",
+    "AssimilationPolicy",
+    "AssimilationTracker",
+    "CERTIFY_CHANNEL",
+    "ControlGroup",
+    "ControlGroupConfig",
+    "GroupApp",
+    "HEARTBEAT_CHANNEL",
+]

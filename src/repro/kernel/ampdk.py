@@ -1,0 +1,194 @@
+"""AmpDK — the AmpNet Distributed Kernel (slides 17-18).
+
+Every AmpNet NIC is "a real-time micro computer managed by the AmpNet
+Distributed Kernel".  The pieces modelled here:
+
+* **Heartbeats** — each member broadcasts a DIAGNOSTIC heartbeat cell on a
+  reserved channel every ``heartbeat_interval_ns``.  Every member tracks
+  last-heard times for every roster peer; silence past
+  ``heartbeat_timeout_ns`` triggers rostering.  Link failures are caught
+  faster by carrier hardware; heartbeats are the backstop that catches
+  *node* deaths (a dark node drops carrier only at its switches, which
+  its peers cannot see directly) — this is the paper's "millisecond
+  application failure detection" (slide 19).
+* **Certification** — after a roster installs, the round's master tours a
+  DIAGNOSTIC certification cell around the new ring ("built-in
+  diagnostics certify new configuration", slide 18).  If the tour does
+  not complete within the certification window the configuration is bad
+  and rostering restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..micropacket import BROADCAST, Flags, MicroPacket, MicroPacketType
+from ..rostering import Roster
+from ..sim import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["AmpDK", "AmpDKConfig", "HEARTBEAT_CHANNEL", "CERTIFY_CHANNEL"]
+
+#: Reserved DIAGNOSTIC channels.
+HEARTBEAT_CHANNEL = 15
+CERTIFY_CHANNEL = 14
+
+
+@dataclass
+class AmpDKConfig:
+    """Distributed-kernel timing knobs."""
+
+    #: Heartbeat broadcast period.
+    heartbeat_interval_ns: int = 200_000  # 200 us
+    #: Silence threshold before a peer is declared dead (slide 19:
+    #: millisecond failure detection).
+    heartbeat_timeout_ns: int = 1_000_000  # 1 ms
+    #: How often the monitor sweeps for silent peers.
+    check_interval_ns: int = 100_000
+    #: Master's patience for the certification tour, in ring tours.
+    #: The tour itself takes ~1 unloaded tour, but a cell cannot preempt
+    #: a frame mid-serialization, so under bulk load each hop can add one
+    #: DMA-cell time; four tours gives certification the headroom to
+    #: succeed on a busy but healthy ring.
+    certify_tours: int = 4
+    #: One ring-tour estimate (installed by the cluster).
+    tour_estimate_ns: int = 100_000
+    enabled: bool = True
+
+
+class AmpDK:
+    """Per-node distributed kernel services."""
+
+    def __init__(self, node: "AmpNode", config: Optional[AmpDKConfig] = None):
+        self.node = node
+        self.sim = node.sim
+        self.config = config or AmpDKConfig()
+        self.name = f"ampdk-{node.node_id}"
+        self.counters = Counter()
+
+        self._last_heard: Dict[int, int] = {}
+        self._roster: Optional[Roster] = None
+        self._epoch = 0  # bumps on every ring up/down to retire old loops
+        self._certified_round: Optional[int] = None
+        self._cert_waiters: Dict[int, dict] = {}
+
+        node.ring_up_listeners.append(self._ring_up)
+        node.ring_down_listeners.append(self._ring_down)
+        node.tour_complete_listeners.append(self._on_tour_complete)
+        node.register_handler(
+            MicroPacketType.DIAGNOSTIC, HEARTBEAT_CHANNEL, self._on_heartbeat
+        )
+        node.register_handler(
+            MicroPacketType.DIAGNOSTIC, CERTIFY_CHANNEL, self._on_certify
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def _ring_up(self, roster: Roster) -> None:
+        if not self.config.enabled:
+            return
+        self._roster = roster
+        self._epoch += 1
+        now = self.sim.now
+        self._last_heard = {m: now for m in roster.members if m != self.node.node_id}
+        epoch = self._epoch
+        self.sim.process(self._heartbeat_loop(epoch), name=f"{self.name}.hb")
+        self.sim.process(self._monitor_loop(epoch), name=f"{self.name}.mon")
+        if roster.size >= 2 and self._is_certifier(roster):
+            self.sim.process(self._certify(roster, epoch), name=f"{self.name}.cert")
+
+    def _ring_down(self, reason: str) -> None:
+        self._roster = None
+        self._epoch += 1
+
+    def _is_certifier(self, roster: Roster) -> bool:
+        return self.node.node_id == min(roster.members)
+
+    # ------------------------------------------------------------ heartbeat
+    def _heartbeat_cell(self) -> MicroPacket:
+        return MicroPacket(
+            ptype=MicroPacketType.DIAGNOSTIC,
+            src=self.node.node_id,
+            dst=BROADCAST,
+            channel=HEARTBEAT_CHANNEL,
+            flags=Flags.PRIORITY | Flags.BROADCAST_FLAG,
+            payload=b"HB",
+        )
+
+    def _heartbeat_loop(self, epoch: int):
+        sim = self.sim
+        while epoch == self._epoch and self._roster is not None:
+            if self._roster.size >= 2:
+                self.node.mac.send(self._heartbeat_cell())
+                self.counters.incr("heartbeats_sent")
+            yield sim.timeout(self.config.heartbeat_interval_ns)
+
+    def _on_heartbeat(self, pkt: MicroPacket, frame) -> None:
+        self._last_heard[pkt.src] = self.sim.now
+        self.counters.incr("heartbeats_seen")
+
+    def _monitor_loop(self, epoch: int):
+        sim = self.sim
+        cfg = self.config
+        # Grace: peers need a beat in flight before silence means death.
+        yield sim.timeout(cfg.heartbeat_timeout_ns)
+        while epoch == self._epoch and self._roster is not None:
+            deadline = sim.now - cfg.heartbeat_timeout_ns
+            silent = [
+                peer for peer, heard in self._last_heard.items() if heard < deadline
+            ]
+            if silent:
+                self.counters.incr("peer_timeouts")
+                self.node.agent.trigger(
+                    f"heartbeat timeout: peers {sorted(silent)} silent"
+                )
+                return
+            yield sim.timeout(cfg.check_interval_ns)
+
+    # ---------------------------------------------------------- certification
+    def _certify(self, roster: Roster, epoch: int):
+        sim = self.sim
+        # The master installs first; commit cells are still flooding to
+        # the other members.  Give them half a tour to open their rings
+        # before the certification cell starts touring.
+        yield sim.timeout(self.config.tour_estimate_ns // 2)
+        if epoch != self._epoch:
+            return
+        cell = MicroPacket(
+            ptype=MicroPacketType.DIAGNOSTIC,
+            src=self.node.node_id,
+            dst=BROADCAST,
+            channel=CERTIFY_CHANNEL,
+            flags=Flags.PRIORITY | Flags.BROADCAST_FLAG,
+            payload=roster.round_no.to_bytes(1, "little"),
+        )
+        window = self.config.certify_tours * self.config.tour_estimate_ns
+        for attempt in range(2):
+            frame = self.node.mac.send(cell)
+            done = sim.event()
+            self._cert_waiters[frame.frame_id] = {"done": done}
+            yield sim.any_of([done, sim.timeout(window)])
+            self._cert_waiters.pop(frame.frame_id, None)
+            if epoch != self._epoch:
+                return
+            if done.triggered:
+                self._certified_round = roster.round_no
+                self.counters.incr("certified")
+                self.node.tracer.record(
+                    sim.now, "ring_certified", self.name, round=roster.round_no,
+                )
+                return
+            self.counters.incr("certification_retries")
+        self.counters.incr("certification_failed")
+        self.node.agent.trigger("certification tour failed")
+
+    def _on_tour_complete(self, frame) -> None:
+        handle = self._cert_waiters.pop(frame.frame_id, None)
+        if handle is not None and not handle["done"].triggered:
+            handle["done"].succeed()
+
+    def _on_certify(self, pkt: MicroPacket, frame) -> None:
+        # Members simply observe certification traffic (counted for tests).
+        self.counters.incr("certify_seen")

@@ -1,0 +1,332 @@
+"""IBM 8b/10b transmission coding (FC-1 layer, paper slide 3).
+
+AmpNet rides on the Fibre Channel FC-0/FC-1 physical layers; FC-1 is the
+Widmer-Franaszek 8b/10b code.  This module implements the full code from
+first principles: the 5b/6b and 3b/4b sub-block tables, running-disparity
+selection, the D.x.A7 alternate rule, and the twelve K (control)
+characters.  The properties the hardware relies on — DC balance, maximum
+run length of five, and the singular comma pattern used for symbol
+alignment — all emerge from these tables and are verified by property
+tests in ``tests/unit/micropacket/test_encoding.py``.
+
+Symbols are represented as 10-bit integers with transmission bit ``a`` in
+the most significant position (bit 9) and ``j`` in bit 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "DecodeError",
+    "Encoder8b10b",
+    "Decoder8b10b",
+    "k_code",
+    "K28_1",
+    "K28_5",
+    "K27_7",
+    "K29_7",
+    "K30_7",
+    "VALID_K_BYTES",
+    "symbol_bits",
+    "max_run_length",
+]
+
+
+class DecodeError(Exception):
+    """An illegal 10-bit symbol or a running-disparity violation."""
+
+
+def _bits(s: str) -> int:
+    return int(s, 2)
+
+
+# --------------------------------------------------------------------------
+# 5b/6b sub-block: value -> (code at RD-, code at RD+), bits "abcdei".
+# --------------------------------------------------------------------------
+_5B6B: Dict[int, Tuple[int, int]] = {
+    0: (_bits("100111"), _bits("011000")),
+    1: (_bits("011101"), _bits("100010")),
+    2: (_bits("101101"), _bits("010010")),
+    3: (_bits("110001"), _bits("110001")),
+    4: (_bits("110101"), _bits("001010")),
+    5: (_bits("101001"), _bits("101001")),
+    6: (_bits("011001"), _bits("011001")),
+    7: (_bits("111000"), _bits("000111")),
+    8: (_bits("111001"), _bits("000110")),
+    9: (_bits("100101"), _bits("100101")),
+    10: (_bits("010101"), _bits("010101")),
+    11: (_bits("110100"), _bits("110100")),
+    12: (_bits("001101"), _bits("001101")),
+    13: (_bits("101100"), _bits("101100")),
+    14: (_bits("011100"), _bits("011100")),
+    15: (_bits("010111"), _bits("101000")),
+    16: (_bits("011011"), _bits("100100")),
+    17: (_bits("100011"), _bits("100011")),
+    18: (_bits("010011"), _bits("010011")),
+    19: (_bits("110010"), _bits("110010")),
+    20: (_bits("001011"), _bits("001011")),
+    21: (_bits("101010"), _bits("101010")),
+    22: (_bits("011010"), _bits("011010")),
+    23: (_bits("111010"), _bits("000101")),
+    24: (_bits("110011"), _bits("001100")),
+    25: (_bits("100110"), _bits("100110")),
+    26: (_bits("010110"), _bits("010110")),
+    27: (_bits("110110"), _bits("001001")),
+    28: (_bits("001110"), _bits("001110")),
+    29: (_bits("101110"), _bits("010001")),
+    30: (_bits("011110"), _bits("100001")),
+    31: (_bits("101011"), _bits("010100")),
+}
+
+#: K28's 5b/6b block — the only 6b block unique to control characters.
+_K28_6B = (_bits("001111"), _bits("110000"))
+
+# --------------------------------------------------------------------------
+# 3b/4b sub-block: value -> (code at RD-, code at RD+), bits "fghj".
+# --------------------------------------------------------------------------
+_3B4B: Dict[int, Tuple[int, int]] = {
+    0: (_bits("1011"), _bits("0100")),
+    1: (_bits("1001"), _bits("1001")),
+    2: (_bits("0101"), _bits("0101")),
+    3: (_bits("1100"), _bits("0011")),
+    4: (_bits("1101"), _bits("0010")),
+    5: (_bits("1010"), _bits("1010")),
+    6: (_bits("0110"), _bits("0110")),
+}
+_P7 = (_bits("1110"), _bits("0001"))
+_A7 = (_bits("0111"), _bits("1000"))
+
+#: K.x.y 3b/4b sub-blocks (y=7 always uses the A7 form).
+_K_3B4B: Dict[int, Tuple[int, int]] = {
+    0: (_bits("1011"), _bits("0100")),
+    1: (_bits("0110"), _bits("1001")),
+    2: (_bits("1010"), _bits("0101")),
+    3: (_bits("1100"), _bits("0011")),
+    4: (_bits("1101"), _bits("0010")),
+    5: (_bits("0101"), _bits("1010")),
+    6: (_bits("1001"), _bits("0110")),
+    7: (_bits("0111"), _bits("1000")),
+}
+
+#: x values whose D.x.7 must use the alternate A7 form at RD- / RD+.
+_A7_AT_RDM = frozenset({17, 18, 20})
+_A7_AT_RDP = frozenset({11, 13, 14})
+
+#: The twelve legal control characters, as raw byte values (y<<5 | x).
+VALID_K_BYTES = frozenset(
+    [(y << 5) | 28 for y in range(8)]
+    + [(7 << 5) | x for x in (23, 27, 29, 30)]
+)
+#: 6b blocks that may carry a K.x.7 control meaning besides K28.
+_K_SHARED_X = frozenset({23, 27, 29, 30})
+
+
+def _ones(v: int, width: int) -> int:
+    return bin(v & ((1 << width) - 1)).count("1")
+
+
+def _block_disparity(code: int, width: int) -> int:
+    return 2 * _ones(code, width) - width
+
+
+def k_code(x: int, y: int) -> int:
+    """Raw byte value of control character K.x.y (validated)."""
+    byte = (y << 5) | x
+    if byte not in VALID_K_BYTES:
+        raise ValueError(f"K{x}.{y} is not a legal control character")
+    return byte
+
+
+K28_1 = k_code(28, 1)
+K28_5 = k_code(28, 5)  # the classic comma / idle character
+K27_7 = k_code(27, 7)
+K29_7 = k_code(29, 7)
+K30_7 = k_code(30, 7)
+
+
+class Encoder8b10b:
+    """Stateful encoder: bytes (data or control) to 10-bit symbols."""
+
+    def __init__(self) -> None:
+        self.rd = -1  # running disparity starts negative by convention
+
+    def reset(self) -> None:
+        self.rd = -1
+
+    def encode_byte(self, byte: int, control: bool = False) -> int:
+        """Encode one byte; ``control=True`` encodes a K character."""
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte {byte!r} out of range")
+        x = byte & 0x1F
+        y = byte >> 5
+        rd_idx = 0 if self.rd < 0 else 1
+
+        if control:
+            if byte not in VALID_K_BYTES:
+                raise ValueError(f"K.{x}.{y} is not a legal control character")
+            code6 = _K28_6B[rd_idx] if x == 28 else _5B6B[x][rd_idx]
+            d6 = _block_disparity(code6, 6)
+            rd_after6 = self.rd if d6 == 0 else (1 if self.rd + d6 > 0 else -1)
+            code4 = _K_3B4B[y][0 if rd_after6 < 0 else 1]
+        else:
+            code6 = _5B6B[x][rd_idx]
+            d6 = _block_disparity(code6, 6)
+            rd_after6 = self.rd if d6 == 0 else (1 if self.rd + d6 > 0 else -1)
+            if y == 7:
+                use_a7 = (rd_after6 < 0 and x in _A7_AT_RDM) or (
+                    rd_after6 > 0 and x in _A7_AT_RDP
+                )
+                table = _A7 if use_a7 else _P7
+                code4 = table[0 if rd_after6 < 0 else 1]
+            else:
+                code4 = _3B4B[y][0 if rd_after6 < 0 else 1]
+
+        d4 = _block_disparity(code4, 4)
+        self.rd = rd_after6 if d4 == 0 else (1 if rd_after6 + d4 > 0 else -1)
+        return (code6 << 4) | code4
+
+    def encode(self, data: bytes) -> List[int]:
+        """Encode a run of data bytes."""
+        return [self.encode_byte(b) for b in data]
+
+
+def _build_decode_tables() -> Tuple[
+    Dict[int, int], Dict[int, int], Dict[int, int], Dict[int, int]
+]:
+    """Reverse maps: 6b->x (data), 4b->y (data), and per-disparity 4b->y
+    maps for control characters.
+
+    The control 4b decode *must* be disparity-aware: K.x.1 and K.x.6 share
+    their 4b codes across opposite disparity columns (1001/0110), so the
+    same four bits mean y=1 at one running disparity and y=6 at the other.
+    Data characters have no such collision, so a single merged map works.
+    """
+    dec6: Dict[int, int] = {}
+    for x, (neg, pos) in _5B6B.items():
+        dec6[neg] = x
+        dec6[pos] = x
+    dec4: Dict[int, int] = {}
+    for y, (neg, pos) in _3B4B.items():
+        dec4[neg] = y
+        dec4[pos] = y
+    for code in _P7 + _A7:
+        dec4[code] = 7
+    deck4_neg: Dict[int, int] = {}
+    deck4_pos: Dict[int, int] = {}
+    for y, (neg, pos) in _K_3B4B.items():
+        deck4_neg[neg] = y
+        deck4_pos[pos] = y
+    return dec6, dec4, deck4_neg, deck4_pos
+
+
+_DEC6, _DEC4, _DECK4_NEG, _DECK4_POS = _build_decode_tables()
+
+
+class Decoder8b10b:
+    """Stateful decoder: 10-bit symbols back to (byte, is_control).
+
+    With ``strict_disparity`` (default) the decoder additionally verifies
+    that each sub-block is the one a compliant transmitter would have sent
+    at the current running disparity, catching single-bit errors that
+    happen to land on another legal code of opposite disparity.
+    """
+
+    def __init__(self, strict_disparity: bool = True):
+        self.rd = -1
+        self.strict = strict_disparity
+
+    def reset(self) -> None:
+        self.rd = -1
+
+    def decode_symbol(self, symbol: int) -> Tuple[int, bool]:
+        if not 0 <= symbol <= 0x3FF:
+            raise DecodeError(f"symbol {symbol!r} out of 10-bit range")
+        code6 = symbol >> 4
+        code4 = symbol & 0xF
+
+        is_k28 = code6 in (_K28_6B[0], _K28_6B[1])
+        if is_k28:
+            x = 28
+        else:
+            x = _DEC6.get(code6)
+            if x is None:
+                raise DecodeError(f"illegal 6b block {code6:06b}")
+
+        d6 = _block_disparity(code6, 6)
+        if self.strict:
+            expected = _K28_6B if is_k28 else _5B6B[x]
+            if code6 != expected[0 if self.rd < 0 else 1] and d6 != 0:
+                raise DecodeError(
+                    f"6b block {code6:06b} violates running disparity {self.rd:+d}"
+                )
+        rd_after6 = self.rd if d6 == 0 else (1 if self.rd + d6 > 0 else -1)
+
+        # Control detection: K28 by its unique 6b block, the other four
+        # K.x.7 characters by an A7 form that no data character of that x
+        # would legally use.
+        is_control = is_k28
+        if not is_k28 and code4 in _A7 and x in _K_SHARED_X:
+            is_control = True
+
+        if is_control:
+            primary = _DECK4_NEG if rd_after6 < 0 else _DECK4_POS
+            fallback = _DECK4_POS if rd_after6 < 0 else _DECK4_NEG
+            y = primary.get(code4)
+            if y is None and not self.strict:
+                y = fallback.get(code4)
+            if y is None:
+                raise DecodeError(f"illegal control 4b block {code4:04b}")
+            byte = (y << 5) | x
+            if byte not in VALID_K_BYTES:
+                raise DecodeError(f"decoded illegal control character K.{x}.{y}")
+        else:
+            y = _DEC4.get(code4)
+            if y is None:
+                raise DecodeError(f"illegal 4b block {code4:04b}")
+            byte = (y << 5) | x
+
+        d4 = _block_disparity(code4, 4)
+        if self.strict and d4 != 0:
+            rd_in = rd_after6
+            if d4 > 0 and rd_in > 0 or d4 < 0 and rd_in < 0:
+                raise DecodeError(
+                    f"4b block {code4:04b} violates running disparity {rd_in:+d}"
+                )
+        self.rd = rd_after6 if d4 == 0 else (1 if rd_after6 + d4 > 0 else -1)
+        return byte, is_control
+
+    def decode(self, symbols: Iterable[int]) -> bytes:
+        """Decode a data-only run (control characters are an error)."""
+        out = bytearray()
+        for sym in symbols:
+            byte, is_control = self.decode_symbol(sym)
+            if is_control:
+                raise DecodeError(f"unexpected control character in data run")
+            out.append(byte)
+        return bytes(out)
+
+
+def symbol_bits(symbols: Iterable[int]) -> List[int]:
+    """Flatten symbols to a bit list (transmission order a..j)."""
+    bits: List[int] = []
+    for sym in symbols:
+        for pos in range(9, -1, -1):
+            bits.append((sym >> pos) & 1)
+    return bits
+
+
+def max_run_length(symbols: Iterable[int]) -> int:
+    """Longest run of identical bits across the concatenated stream.
+
+    8b/10b guarantees this never exceeds 5 for a compliant encoder — the
+    property that keeps the FC-0 receiver's clock recovery locked.
+    """
+    bits = symbol_bits(symbols)
+    if not bits:
+        return 0
+    best = run = 1
+    for prev, cur in zip(bits, bits[1:]):
+        run = run + 1 if cur == prev else 1
+        best = max(best, run)
+    return best

@@ -1,0 +1,196 @@
+"""AmpNode: one cluster member — NIC, ring MAC, rostering agent.
+
+This module composes the per-node hardware model.  The AmpDK distributed
+kernel (:mod:`repro.kernel`), the reliable messenger
+(:mod:`repro.transport`) and the network cache (:mod:`repro.cache`) all
+hang off the hooks exposed here; :class:`~repro.cluster.AmpNetCluster`
+builds and wires the full stack.
+
+Frame dispatch: ROSTERING cells go to the rostering agent (they are valid
+whether or not the ring is up — that is the point of rostering); all
+other MicroPacket types are ring traffic handled by the MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .micropacket import MicroPacket, MicroPacketType
+from .phys import Port
+from .phys.frame import Frame
+from .ring import FlowControlConfig, RingMAC
+from .rostering import AgentState, Roster, RosterAgent, RosterConfig
+from .sim import Simulator, Tracer
+
+__all__ = ["AmpNode", "NodeConfig"]
+
+
+@dataclass
+class NodeConfig:
+    """Per-node configuration bundle."""
+
+    flow: FlowControlConfig = field(default_factory=FlowControlConfig)
+    roster: RosterConfig = field(default_factory=RosterConfig)
+    #: AmpDK boot time before the node first seeks a ring (slide 17:
+    #: "instantly self-boots" — tens of microseconds of firmware).
+    boot_delay_ns: int = 20_000
+
+
+class AmpNode:
+    """One AmpNet node (host + NIC), physical through MAC layers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        ports: List[Port],
+        config: Optional[NodeConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.ports = ports
+        self.config = config or NodeConfig()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.name = f"node-{node_id}"
+        self.failed = False
+
+        self.mac = RingMAC(sim, node_id, ports, self.config.flow, self.tracer)
+        self.agent = RosterAgent(sim, node_id, ports, self.config.roster, self.tracer)
+        self.agent.on_installed = self._roster_installed
+        self.agent.on_ring_down = self._ring_down
+
+        #: subscribers notified on ring up/down (AmpDK, services)
+        self.ring_up_listeners: List[Callable[[Roster], None]] = []
+        self.ring_down_listeners: List[Callable[[str], None]] = []
+        #: reliability signals fanned out from the MAC
+        self.tour_complete_listeners: List[Callable] = []
+        self.tour_lost_listeners: List[Callable] = []
+
+        #: delivery dispatch: (ptype, channel) -> handler; None channel =
+        #: any channel of that type not claimed more specifically.
+        self._handlers: dict = {}
+        self._default_sinks: List[Callable[[MicroPacket, Frame], None]] = []
+        self.mac.on_deliver = self._deliver
+        self.mac.on_tour_complete = self._tour_complete
+        self.mac.on_tour_lost = self._tour_lost
+
+        for port in ports:
+            port.set_handlers(on_frame=self._on_frame, on_carrier=self._on_carrier)
+
+    # ------------------------------------------------------------ lifecycle
+    def boot(self) -> None:
+        """Start AmpDK; the node seeks a ring after its boot delay."""
+        self.sim.call_in(self.config.boot_delay_ns, self._booted)
+
+    def _booted(self) -> None:
+        if self.failed:
+            return
+        if self.agent.state == AgentState.DOWN:
+            self.agent.trigger("boot")
+
+    def join_existing(self) -> None:
+        """Announce ourselves to an already-running network (slide 17)."""
+        self.sim.call_in(self.config.boot_delay_ns, self._join)
+
+    def _join(self) -> None:
+        if not self.failed:
+            self.agent.request_join()
+
+    def crash(self) -> None:
+        """Node power failure: stop participating entirely.
+
+        The physical side (lasers going dark) is driven by the topology's
+        ``node_dark``; the cluster fault injector calls both.  Ring-down
+        listeners are notified so kernel loops (heartbeat monitors,
+        certification) retire instead of running on as zombies.
+        """
+        self.failed = True
+        self._ring_down("node crash")
+        self.agent.enabled = False
+        self.agent.state = AgentState.DOWN
+        self.agent.roster = None
+
+    def recover(self) -> None:
+        self.failed = False
+        self.agent.enabled = True
+
+    # ------------------------------------------------------------- queries
+    @property
+    def ring_up(self) -> bool:
+        return self.mac.ring_up
+
+    @property
+    def roster(self) -> Optional[Roster]:
+        return self.agent.roster
+
+    # ------------------------------------------------------------ dispatch
+    def _on_frame(self, frame: Frame, port: Port) -> None:
+        if self.failed:
+            return
+        if frame.packet.ptype == MicroPacketType.ROSTERING:
+            self.agent.on_cell(frame, port)
+        else:
+            self.mac.on_frame(frame, port)
+
+    def _on_carrier(self, up: bool, port: Port) -> None:
+        if self.failed:
+            return
+        self.agent.on_carrier_change(up, port)
+
+    def _roster_installed(self, roster: Roster) -> None:
+        self.mac.install_roster(roster)
+        for listener in self.ring_up_listeners:
+            listener(roster)
+
+    def _ring_down(self, reason: str) -> None:
+        self.mac.teardown(reason)
+        for listener in self.ring_down_listeners:
+            listener(reason)
+
+    # ------------------------------------------------------------ delivery
+    def register_handler(self, ptype: MicroPacketType, channel, handler) -> None:
+        """Claim deliveries of ``ptype`` on ``channel`` (None = wildcard)."""
+        key = (ptype, channel)
+        if key in self._handlers:
+            raise ValueError(f"handler already registered for {key}")
+        self._handlers[key] = handler
+
+    def unregister_handler(self, ptype: MicroPacketType, channel) -> None:
+        self._handlers.pop((ptype, channel), None)
+
+    def register_default(self, sink) -> None:
+        """Receive every delivery no specific handler claimed."""
+        self._default_sinks.append(sink)
+
+    def _deliver(self, packet: MicroPacket, frame: Frame) -> None:
+        handler = self._handlers.get((packet.ptype, packet.channel))
+        if handler is None:
+            handler = self._handlers.get((packet.ptype, None))
+        if handler is not None:
+            handler(packet, frame)
+            return
+        for sink in self._default_sinks:
+            sink(packet, frame)
+
+    def _tour_complete(self, frame: Frame) -> None:
+        for listener in self.tour_complete_listeners:
+            listener(frame)
+
+    def _tour_lost(self, frame: Frame) -> None:
+        for listener in self.tour_lost_listeners:
+            listener(frame)
+
+    # ------------------------------------------------------------------- tx
+    def send(self, packet: MicroPacket):
+        """Queue a packet onto the ring (thin veneer over the MAC)."""
+        if packet.src != self.node_id:
+            raise ValueError(
+                f"packet src {packet.src} does not match node {self.node_id}"
+            )
+        return self.mac.send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.agent.state.name
+        return f"<AmpNode {self.node_id} {state}>"

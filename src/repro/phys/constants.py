@@ -1,0 +1,46 @@
+"""Physical-layer timing constants (DESIGN.md section 5).
+
+All times are integer nanoseconds; all lengths are metres.  The numbers
+model first-generation Fibre Channel optics, which is what AmpNet's FC-0
+layer was (slide 3).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINE_RATE_BITS_PER_NS",
+    "PROPAGATION_NS_PER_M",
+    "SWITCH_LATENCY_NS",
+    "NODE_TRANSIT_NS",
+    "CARRIER_DETECT_NS",
+    "serialization_ns",
+    "propagation_ns",
+]
+
+#: FC-0 line rate: 1.0625 Gbaud = 1.0625 line bits per nanosecond.
+LINE_RATE_BITS_PER_NS = 1.0625
+
+#: Speed of light in fibre (~2/3 c) => 5 ns per metre.
+PROPAGATION_NS_PER_M = 5
+
+#: Store-and-forward latency through an AmpNet switch port pair.
+SWITCH_LATENCY_NS = 300
+
+#: Register-insertion logic delay at a node, excluding serialization.
+NODE_TRANSIT_NS = 120
+
+#: Time for receiver hardware to confirm loss of carrier (debounce).
+CARRIER_DETECT_NS = 10_000  # 10 us
+
+def serialization_ns(wire_bits: int) -> int:
+    """Nanoseconds to clock ``wire_bits`` onto the fibre (rounded up)."""
+    if wire_bits < 0:
+        raise ValueError("wire_bits must be non-negative")
+    return -(-wire_bits * 16 // 17)  # exact: bits / 1.0625 == bits*16/17
+
+
+def propagation_ns(length_m: float) -> int:
+    """Propagation delay through ``length_m`` metres of fibre."""
+    if length_m < 0:
+        raise ValueError("length must be non-negative")
+    return int(length_m * PROPAGATION_NS_PER_M)

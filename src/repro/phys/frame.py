@@ -1,0 +1,65 @@
+"""Frames in flight on the simulated fibre.
+
+The hot simulation path carries :class:`MicroPacket` objects plus their
+exact wire size rather than 8b/10b symbol lists — the coding layer is
+byte-for-byte validated in its own unit tests, so re-encoding every frame
+in a million-packet benchmark would only burn time.  A frame flagged
+``corrupt`` models line damage: the receiver's CRC check *always* detects
+single-frame corruption (property-tested in the micropacket layer), so
+corrupted frames are counted and discarded on receive, never delivered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..micropacket import MicroPacket, frame_wire_bits
+
+__all__ = ["Frame", "frame_for", "IDLE_GAP_SYMBOLS"]
+
+#: Comma characters inserted between frames by the transmit hardware.
+IDLE_GAP_SYMBOLS = 2
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One MicroPacket plus its line representation metadata."""
+
+    packet: MicroPacket
+    wire_bits: int
+    corrupt: bool = False
+    #: Unique per simulation run; lets conservation tests track identity.
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: Simulated time the frame was first inserted onto the ring.
+    inserted_at: Optional[int] = None
+    #: Free-form metadata for protocol layers (reassembly hints, payload
+    #: objects whose wire size is modelled by chunk cells, trace tags).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Devices traversed, appended by switches/nodes when tracing is on.
+    path: Tuple[str, ...] = ()
+
+    def damaged(self) -> "Frame":
+        """A copy marked corrupt (CRC will reject it at the receiver)."""
+        return replace(self, corrupt=True)
+
+    def hop(self, device: str) -> None:
+        self.path = self.path + (device,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mark = "!" if self.corrupt else ""
+        return f"<Frame#{self.frame_id}{mark} {self.packet.describe()}>"
+
+
+def frame_for(packet: MicroPacket, idle_gap: int = IDLE_GAP_SYMBOLS) -> Frame:
+    """Build a frame with the exact line cost of the packet.
+
+    Cost = 10 bits per transmission character for SOF + content + CRC +
+    EOF (see :func:`repro.micropacket.frame_wire_bits`) plus the
+    inter-frame idle gap.
+    """
+    bits = frame_wire_bits(packet.wire_bytes) + 10 * idle_gap
+    return Frame(packet=packet, wire_bits=bits)

@@ -1,0 +1,154 @@
+"""Serial links and duplex fibres.
+
+A :class:`SerialLink` is one direction of light: it serializes frames at
+the FC-0 line rate (transmitter busy for the frame's wire time, so link
+utilisation emerges naturally) and delivers them after the propagation
+delay of the fibre run.  A :class:`Fiber` bundles the two directions and
+is the unit of fault injection — cutting a fibre kills both directions,
+loses whatever was in flight, and drops carrier at both ends after the
+hardware debounce time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator, Store
+from .constants import CARRIER_DETECT_NS, propagation_ns, serialization_ns
+from .frame import Frame
+from .port import Port
+
+__all__ = ["SerialLink", "Fiber"]
+
+
+class SerialLink:
+    """Unidirectional serial run from ``src`` to ``dst``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Port,
+        dst: Port,
+        length_m: float,
+        name: str = "",
+    ):
+        if length_m < 0:
+            raise ValueError("fibre length must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.length_m = length_m
+        self.name = name or f"{src.name}->{dst.name}"
+        self.prop_ns = propagation_ns(length_m)
+        self.up = True
+        #: epoch increments on every cut; in-flight deliveries from an
+        #: older epoch are discarded (the light went dark mid-flight).
+        self._epoch = 0
+        self._tx_queue: Store = Store(sim)
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        sim.process(self._transmitter(), name=f"link:{self.name}")
+
+    def transmit(self, frame: Frame) -> None:
+        """Queue a frame; the transmitter serializes strictly in order."""
+        self._tx_queue.put(frame)
+
+    def _transmitter(self):
+        sim = self.sim
+        while True:
+            frame: Frame = yield self._tx_queue.get()
+            if not self.up:
+                self.frames_lost += 1
+                continue
+            # Occupy the transmitter for the serialization time.
+            yield sim.timeout(serialization_ns(frame.wire_bits))
+            if not self.up:
+                self.frames_lost += 1
+                continue
+            epoch = self._epoch
+            sim.call_in(self.prop_ns, lambda f=frame, e=epoch: self._arrive(f, e))
+
+    def _arrive(self, frame: Frame, epoch: int) -> None:
+        if not self.up or epoch != self._epoch:
+            self.frames_lost += 1
+            return
+        self.frames_delivered += 1
+        self.dst.deliver(frame)
+
+    # ------------------------------------------------------------- faults
+    def go_down(self) -> None:
+        if not self.up:
+            return
+        self.up = False
+        self._epoch += 1
+        # Receiver sees loss of light after the debounce time.
+        self.sim.call_in(CARRIER_DETECT_NS, lambda: self._sync_carrier(False))
+
+    def go_up(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        self.sim.call_in(CARRIER_DETECT_NS, lambda: self._sync_carrier(True))
+
+    def _sync_carrier(self, up: bool) -> None:
+        # Only apply if the state still matches (cut/restore races).
+        if up == self.up:
+            self.dst.set_carrier(up)
+
+
+class Fiber:
+    """Duplex fibre pair between two ports; the unit of fault injection."""
+
+    def __init__(self, sim: Simulator, a: Port, b: Port, length_m: float):
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.length_m = length_m
+        self.ab = SerialLink(sim, a, b, length_m)
+        self.ba = SerialLink(sim, b, a, length_m)
+        a.tx_link, a.rx_link = self.ab, self.ba
+        b.tx_link, b.rx_link = self.ba, self.ab
+        #: independent reasons the fibre may be down (cut, endpoint dark)
+        self._cut = False
+        self._dark_sides = 0
+        # Light comes up as soon as both transceivers are on; model
+        # bring-up as immediate carrier at t=0 via the debounce path.
+        a.set_carrier(True)
+        b.set_carrier(True)
+
+    @property
+    def is_up(self) -> bool:
+        return not self._cut and self._dark_sides == 0
+
+    def cut(self) -> None:
+        """Sever the fibre: both directions go dark, in-flight light lost."""
+        if self._cut:
+            return
+        self._cut = True
+        self._apply()
+
+    def restore(self) -> None:
+        """Mend the fibre (carrier returns after debounce at both ends)."""
+        if not self._cut:
+            return
+        self._cut = False
+        self._apply()
+
+    def endpoint_dark(self) -> None:
+        """A transceiver stopped lasing (its node/switch died)."""
+        self._dark_sides += 1
+        self._apply()
+
+    def endpoint_lit(self) -> None:
+        if self._dark_sides == 0:
+            raise ValueError("endpoint_lit without matching endpoint_dark")
+        self._dark_sides -= 1
+        self._apply()
+
+    def _apply(self) -> None:
+        if self.is_up:
+            self.ab.go_up()
+            self.ba.go_up()
+        else:
+            self.ab.go_down()
+            self.ba.go_down()

@@ -1,0 +1,103 @@
+"""Ports: the attachment points between devices and fibres.
+
+A :class:`Port` belongs to a device (NIC or switch).  The device registers
+two callbacks: one for received frames and one for carrier transitions.
+Carrier loss is how AmpNet hardware detects failures (slide 18, "network
+failures detected by hardware"), so the carrier path is modelled with the
+same care as the data path: transitions are delivered after the hardware
+debounce delay :data:`~repro.phys.constants.CARRIER_DETECT_NS`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..sim import Gate, Simulator
+from .frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import SerialLink
+
+__all__ = ["Port"]
+
+FrameHandler = Callable[[Frame, "Port"], None]
+CarrierHandler = Callable[[bool, "Port"], None]
+
+
+class Port:
+    """One duplex optical port.
+
+    ``tx_link``/``rx_link`` are wired by :class:`~repro.phys.link.Fiber`.
+    Devices call :meth:`send`; the link layer calls :meth:`deliver` and
+    :meth:`set_carrier`.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.tx_link: Optional["SerialLink"] = None
+        self.rx_link: Optional["SerialLink"] = None
+        self.carrier = Gate(sim, open_=False)
+        self._on_frame: Optional[FrameHandler] = None
+        self._on_carrier: Optional[CarrierHandler] = None
+        #: counters kept here so every layer above can read them
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.rx_corrupt = 0
+
+    # -------------------------------------------------------------- wiring
+    def set_handlers(
+        self,
+        on_frame: Optional[FrameHandler] = None,
+        on_carrier: Optional[CarrierHandler] = None,
+    ) -> None:
+        self._on_frame = on_frame
+        self._on_carrier = on_carrier
+
+    @property
+    def connected(self) -> bool:
+        return self.tx_link is not None
+
+    @property
+    def carrier_up(self) -> bool:
+        return self.carrier.is_open
+
+    # ---------------------------------------------------------------- data
+    def send(self, frame: Frame) -> bool:
+        """Queue a frame for transmission.
+
+        Returns False (frame silently lost, as on dark fibre) when the
+        port has no carrier — callers that need reliability must wait on
+        ``port.carrier`` first; the ring MAC does exactly that.
+        """
+        if self.tx_link is None or not self.carrier_up:
+            return False
+        self.tx_frames += 1
+        self.tx_link.transmit(frame)
+        return True
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the rx link when a frame fully arrives."""
+        if frame.corrupt:
+            # CRC rejects it; the frame never reaches the protocol layer.
+            self.rx_corrupt += 1
+            return
+        self.rx_frames += 1
+        if self._on_frame is not None:
+            self._on_frame(frame, self)
+
+    # -------------------------------------------------------------- carrier
+    def set_carrier(self, up: bool) -> None:
+        """Called by the link layer after the debounce delay."""
+        if up == self.carrier_up:
+            return
+        if up:
+            self.carrier.open()
+        else:
+            self.carrier.close()
+        if self._on_carrier is not None:
+            self._on_carrier(up, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.carrier_up else "down"
+        return f"<Port {self.name} {state}>"

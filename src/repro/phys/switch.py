@@ -1,0 +1,150 @@
+"""AmpNet switches (slides 14-15).
+
+A switch is a port-mapped crossconnect.  In normal operation it forwards
+ring traffic according to a *ring map* installed at roster commit: each
+ingress port has exactly one egress port, so the logical ring threads
+through the switch as a sequence of point-to-point hops.
+
+ROSTERING MicroPackets are handled differently ("packets are forwarded
+according to rostering rules", slide 16): the switch floods them out of
+every live port except the ingress, with duplicate suppression keyed on
+the rostering header, which is what lets the modified flooding algorithm
+explore the entire surviving topology in one tour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..micropacket import MicroPacketType
+from ..rostering.wire import flood_key
+from ..sim import Counter, Simulator, Tracer
+from .constants import SWITCH_LATENCY_NS
+from .frame import Frame
+from .link import Fiber
+from .port import Port
+
+__all__ = ["Switch"]
+
+#: Remembered flood keys before the oldest is evicted.
+_FLOOD_CACHE_SIZE = 4096
+
+
+class Switch:
+    """A crossconnect with ``n_ports`` duplex optical ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id: int,
+        n_ports: int,
+        latency_ns: int = SWITCH_LATENCY_NS,
+        tracer: Optional[Tracer] = None,
+    ):
+        if n_ports <= 0:
+            raise ValueError("switch needs at least one port")
+        self.sim = sim
+        self.switch_id = switch_id
+        self.name = f"switch-{switch_id}"
+        self.latency_ns = latency_ns
+        self.tracer = tracer or Tracer(enabled=False)
+        self.ports: List[Port] = [
+            Port(sim, f"{self.name}.p{i}") for i in range(n_ports)
+        ]
+        for port in self.ports:
+            port.set_handlers(on_frame=self._on_frame)
+        #: ingress port index -> egress port index for ring traffic
+        self.ring_map: Dict[int, int] = {}
+        self.failed = False
+        self.attached_fibers: List[Fiber] = []
+        self.counters = Counter()
+        self._flood_seen: "OrderedDict[bytes, None]" = OrderedDict()
+
+    # ------------------------------------------------------------- wiring
+    def attach_fiber(self, fiber: Fiber) -> None:
+        self.attached_fibers.append(fiber)
+
+    def port_index(self, port: Port) -> int:
+        return self.ports.index(port)
+
+    # ------------------------------------------------------ configuration
+    def configure_ring(self, mapping: Dict[int, int]) -> None:
+        """Install the ring crossconnect (ingress -> egress port index)."""
+        for src, dst in mapping.items():
+            if not (0 <= src < len(self.ports) and 0 <= dst < len(self.ports)):
+                raise ValueError(f"ring map entry {src}->{dst} out of range")
+        self.ring_map = dict(mapping)
+
+    def clear_ring(self) -> None:
+        self.ring_map = {}
+
+    # ------------------------------------------------------------- faults
+    def fail(self) -> None:
+        """Power loss: every attached fibre goes dark from this side."""
+        if self.failed:
+            return
+        self.failed = True
+        self.ring_map = {}
+        for fiber in self.attached_fibers:
+            fiber.endpoint_dark()
+
+    def repair(self) -> None:
+        if not self.failed:
+            return
+        self.failed = False
+        for fiber in self.attached_fibers:
+            fiber.endpoint_lit()
+
+    # ---------------------------------------------------------- forwarding
+    def _on_frame(self, frame: Frame, port: Port) -> None:
+        if self.failed:
+            return
+        frame.hop(self.name)
+        if frame.packet.ptype == MicroPacketType.ROSTERING:
+            self._flood(frame, port)
+        else:
+            self._switch(frame, port)
+
+    def _switch(self, frame: Frame, port: Port) -> None:
+        ingress = self.port_index(port)
+        egress = self.ring_map.get(ingress)
+        if egress is None:
+            self.counters.incr("no_route_drop")
+            self.tracer.record(
+                self.sim.now, "switch_drop", self.name,
+                ingress=ingress, packet=frame.packet.describe(),
+            )
+            return
+        out = self.ports[egress]
+        self.sim.call_in(self.latency_ns, lambda: out.send(frame))
+        self.counters.incr("forwarded")
+
+    def _flood(self, frame: Frame, port: Port) -> None:
+        key = flood_key(frame.packet.payload)
+        if key in self._flood_seen:
+            self.counters.incr("flood_duplicate")
+            return
+        self._flood_seen[key] = None
+        if len(self._flood_seen) > _FLOOD_CACHE_SIZE:
+            self._flood_seen.popitem(last=False)
+        ingress = self.port_index(port)
+        fanout = 0
+        for idx, out in enumerate(self.ports):
+            if idx == ingress or not out.carrier_up:
+                continue
+            self.sim.call_in(self.latency_ns, lambda o=out: o.send(frame))
+            fanout += 1
+        self.counters.incr("flooded", fanout)
+        self.tracer.record(
+            self.sim.now, "switch_flood", self.name,
+            ingress=ingress, fanout=fanout, key=key.hex(),
+        )
+
+    def reset_flood_cache(self) -> None:
+        """Forget flood keys (used between rostering rounds in tests)."""
+        self._flood_seen.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAILED" if self.failed else "ok"
+        return f"<Switch {self.switch_id} {state} ports={len(self.ports)}>"

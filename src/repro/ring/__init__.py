@@ -1,0 +1,6 @@
+"""Register-insertion ring MAC and local-view flow control (slides 7-8)."""
+
+from .flow_control import FlowControlConfig, InsertionController
+from .mac import RingMAC
+
+__all__ = ["FlowControlConfig", "InsertionController", "RingMAC"]

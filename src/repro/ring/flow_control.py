@@ -1,0 +1,132 @@
+"""Local-view insertion flow control (paper slide 8).
+
+    "Each node monitors its local view of the network and can increase
+     or decrease its contribution to the total flow accordingly."
+
+Two cooperating mechanisms give AmpNet its *guaranteed no-drop* property:
+
+1. **Insertion window** — a node may have at most ``W`` of its own frames
+   circulating, where ``W = transit_capacity // ring_size``.  Because
+   every frame is source-stripped, the total number of frames on the ring
+   is bounded by ``ring_size * W <= transit_capacity``, so no transit
+   buffer can ever overflow: the no-drop guarantee is structural, not
+   statistical.  (Ablation A2 disables this and watches drops appear.)
+
+2. **Adaptive pacing** — the node watches its *own* transit buffer depth
+   (its local view of ring load) and grows the gap between insertions
+   multiplicatively when the buffer backs up, shrinking it additively as
+   the ring drains.  This is a fairness/latency optimisation on top of
+   the hard window; it keeps one chatty node from monopolising ring slots
+   during an all-to-all broadcast storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowControlConfig", "InsertionController"]
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Tunables for the insertion controller."""
+
+    #: Transit buffer capacity in frames (hardware SRAM per port).
+    transit_capacity: int = 64
+    #: Initial/minimum pacing gap between insertions (ns).
+    min_gap_ns: int = 0
+    #: Ceiling for the pacing gap (ns).  Roughly a hundred cell times:
+    #: enough to yield the ring to transit traffic, small enough that a
+    #: backed-off node still drains its queue promptly once load clears
+    #: (the hard no-drop guarantee is the window, not the pacing).
+    max_gap_ns: int = 32_000
+    #: Additive decrease step when the ring looks idle (ns).
+    relax_step_ns: int = 800
+    #: Transit depth at which the node backs off.  Transit priority keeps
+    #: the buffer shallow even under storms, so the threshold is low: two
+    #: queued frames already means upstream is outpacing this node.
+    hi_watermark: int = 2
+    #: Disable window and pacing (ablation A2 / baseline behaviour).
+    enabled: bool = True
+    #: Serve transit traffic before local insertions.  This is the other
+    #: half of the no-drop guarantee; the A2 ablation disables it to model
+    #: a greedy NIC that prefers its own traffic.
+    transit_priority: bool = True
+    #: Force a fixed window regardless of ring size (tests/ablations).
+    window_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.transit_capacity < 1:
+            raise ValueError("transit capacity must be at least one frame")
+        if self.min_gap_ns < 0 or self.max_gap_ns < self.min_gap_ns:
+            raise ValueError("gap bounds inconsistent")
+        if self.hi_watermark < 1:
+            raise ValueError("hi_watermark must be >= 1")
+
+
+class InsertionController:
+    """Per-node insertion decision state."""
+
+    def __init__(self, config: FlowControlConfig):
+        self.config = config
+        self.window = 1
+        self.gap_ns = config.min_gap_ns
+        self.outstanding = 0
+        self.next_insert_at = 0
+        self.backoffs = 0
+        self.relaxes = 0
+
+    # ---------------------------------------------------------- lifecycle
+    def ring_installed(self, ring_size: int) -> None:
+        """Recompute the window for a new roster."""
+        if ring_size < 1:
+            raise ValueError("ring size must be positive")
+        cfg = self.config
+        if cfg.window_override is not None:
+            self.window = cfg.window_override
+        else:
+            # Reserve one slot per member for priority/kernel cells (which
+            # bypass the window), keeping ring_size * (window + 1) within
+            # the transit capacity.
+            self.window = max(1, cfg.transit_capacity // ring_size - 1)
+        self.gap_ns = cfg.min_gap_ns
+
+    # ----------------------------------------------------------- decisions
+    def may_insert(self, now: int) -> bool:
+        """Is an insertion allowed right now?"""
+        if not self.config.enabled:
+            return True
+        return self.outstanding < self.window and now >= self.next_insert_at
+
+    def earliest_insert(self) -> int:
+        """Time before which pacing forbids insertion (window aside)."""
+        return self.next_insert_at
+
+    def window_full(self) -> bool:
+        return self.config.enabled and self.outstanding >= self.window
+
+    # -------------------------------------------------------------- events
+    def inserted(self, now: int) -> None:
+        self.outstanding += 1
+        self.next_insert_at = now + self.gap_ns
+
+    def tour_completed(self) -> None:
+        if self.outstanding > 0:
+            self.outstanding -= 1
+
+    def tour_lost(self) -> None:
+        if self.outstanding > 0:
+            self.outstanding -= 1
+
+    def observe_transit_depth(self, depth: int) -> None:
+        """Feed the local view: current transit buffer occupancy."""
+        if not self.config.enabled:
+            return
+        cfg = self.config
+        if depth >= cfg.hi_watermark:
+            # Multiplicative backoff, seeded by one relax step.
+            self.gap_ns = min(max(self.gap_ns * 2, cfg.relax_step_ns), cfg.max_gap_ns)
+            self.backoffs += 1
+        elif depth == 0 and self.gap_ns > cfg.min_gap_ns:
+            self.gap_ns = max(self.gap_ns - cfg.relax_step_ns, cfg.min_gap_ns)
+            self.relaxes += 1

@@ -1,0 +1,288 @@
+"""Register-insertion ring MAC (slides 7-8).
+
+Each AmpNet NIC contains this state machine.  It owns two queues:
+
+* the **transit buffer** — frames arriving from upstream that must be
+  forwarded downstream.  Transit traffic has absolute priority: a node
+  never delays another node's circulating frame to insert its own.
+* the **insertion queue** — locally originated frames waiting for a gap.
+
+Frames are *source-stripped*: every frame tours the full logical ring and
+is removed by its inserter, which is (a) how broadcasts reach everyone
+(slide 7's multiple simultaneous streams are broadcasts and unicasts
+interleaved per-node), and (b) how the inserter learns its frame
+completed a tour — the acknowledgement that the reliable messenger layer
+(:mod:`repro.transport`) builds retransmission on.
+
+Insertion is governed by :class:`~repro.ring.flow_control.
+InsertionController`; with it enabled the ring structurally cannot drop
+frames (see that module's docstring), which bench F3 demonstrates under
+an all-to-all broadcast storm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..micropacket import Flags, MicroPacket
+from ..phys import NODE_TRANSIT_NS, Port, frame_for, serialization_ns
+from ..phys.frame import Frame
+from ..rostering.roster import Roster
+from ..sim import Counter, Event, Gate, LatencyStat, Simulator, Tracer
+from .flow_control import FlowControlConfig, InsertionController
+
+__all__ = ["RingMAC"]
+
+DeliverFn = Callable[[MicroPacket, Frame], None]
+FrameFn = Callable[[Frame], None]
+
+
+class RingMAC:
+    """The per-node ring MAC engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        ports: List[Port],
+        config: Optional[FlowControlConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.ports = ports
+        self.config = config or FlowControlConfig()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.name = f"mac-{node_id}"
+
+        self.roster: Optional[Roster] = None
+        self.ring_gate = Gate(sim, open_=False)
+        self.controller = InsertionController(self.config)
+
+        #: PRIORITY-flagged transit frames (kernel heartbeats, roster
+        #: certification, semaphore grants) overtake data in transit so a
+        #: broadcast storm cannot starve the distributed kernel.
+        self._transit_priority: List[Frame] = []
+        self._transit: List[Frame] = []
+        self._insertion: List[Frame] = []
+        self._priority_insertion: List[Frame] = []
+        self._outstanding: Dict[int, Frame] = {}
+        self._wakeup: Optional[Event] = None
+
+        #: upward delivery (set by the node's transport layer)
+        self.on_deliver: Optional[DeliverFn] = None
+        #: frame completed its tour (reliability signal)
+        self.on_tour_complete: Optional[FrameFn] = None
+        #: frame was circulating when the ring went down
+        self.on_tour_lost: Optional[FrameFn] = None
+
+        self.counters = Counter()
+        self.delivery_latency = LatencyStat()
+        sim.process(self._tx_loop(), name=f"{self.name}.tx")
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def ring_up(self) -> bool:
+        return self.ring_gate.is_open
+
+    def install_roster(self, roster: Roster) -> None:
+        """Bring the ring up for this node (called on commit)."""
+        if self.node_id not in roster.members:
+            # We were voted off the island; stay down.
+            self.teardown("not a roster member")
+            return
+        self.roster = roster
+        self.controller.ring_installed(roster.size)
+        self.ring_gate.open()
+        self.counters.incr("roster_installs")
+        self._kick()
+
+    def teardown(self, reason: str = "") -> None:
+        """Ring down: stop forwarding, surrender in-flight accounting."""
+        self.ring_gate.close()
+        self.roster = None
+        flushed = len(self._transit) + len(self._transit_priority)
+        if flushed:
+            self.counters.incr("transit_flushed", flushed)
+        self._transit.clear()
+        self._transit_priority.clear()
+        lost, self._outstanding = list(self._outstanding.values()), {}
+        for frame in lost:
+            self.controller.tour_lost()
+            self.counters.incr("tours_lost")
+            if self.on_tour_lost is not None:
+                self.on_tour_lost(frame)
+        self.tracer.record(
+            self.sim.now, "ring_down", self.name, reason=reason, flushed=flushed,
+        )
+
+    # ------------------------------------------------------------------- tx
+    def send(self, packet: MicroPacket) -> Frame:
+        """Queue a locally originated packet for insertion."""
+        frame = frame_for(packet)
+        frame.meta["origin_mac"] = self.node_id
+        if packet.flags & Flags.PRIORITY:
+            self._priority_insertion.append(frame)
+        else:
+            self._insertion.append(frame)
+        self.counters.incr("tx_queued")
+        self._kick()
+        return frame
+
+    @property
+    def insertion_backlog(self) -> int:
+        return len(self._insertion) + len(self._priority_insertion)
+
+    @property
+    def transit_depth(self) -> int:
+        return len(self._transit) + len(self._transit_priority)
+
+    def _kick(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _tx_loop(self):
+        sim = self.sim
+        while True:
+            if not self.ring_gate.is_open:
+                yield self.ring_gate.wait_open()
+                continue
+            frame, inserted = self._pick_frame()
+            if frame is None:
+                self._wakeup = sim.event()
+                gap_end = self.controller.earliest_insert()
+                if self.insertion_backlog and gap_end > sim.now and not (
+                    self.controller.window_full()
+                ):
+                    # Pacing gap: sleep until it ends, but let transit
+                    # arrivals (or ring changes) preempt the nap.
+                    yield sim.any_of([self._wakeup, sim.timeout(gap_end - sim.now)])
+                else:
+                    yield self._wakeup
+                self._wakeup = None
+                continue
+            # Insertion-register latency, then occupy the transmitter.
+            yield sim.timeout(NODE_TRANSIT_NS)
+            if not self._transmit(frame, inserted):
+                continue
+            yield sim.timeout(serialization_ns(frame.wire_bits))
+
+    def _pick_frame(self):
+        """Transit first, then priority insertions, then data insertions.
+
+        Priority cells (heartbeats, certification, semaphore grants) skip
+        the insertion window and pacing: they are rare, tiny and the
+        window formula reserves headroom for them — the kernel must keep
+        beating even when the data window is saturated.
+        """
+        if not self.config.transit_priority:
+            # A2 ablation: a greedy NIC that stuffs its own frames first.
+            if self._priority_insertion:
+                return self._priority_insertion.pop(0), True
+            if self._insertion and self.controller.may_insert(self.sim.now):
+                return self._insertion.pop(0), True
+        if self._transit_priority:
+            return self._transit_priority.pop(0), False
+        if self._transit:
+            frame = self._transit.pop(0)
+            self.controller.observe_transit_depth(len(self._transit))
+            return frame, False
+        if self._priority_insertion:
+            return self._priority_insertion.pop(0), True
+        if not self.controller.may_insert(self.sim.now):
+            return None, False
+        if self._insertion:
+            return self._insertion.pop(0), True
+        return None, False
+
+    def _transmit(self, frame: Frame, inserted: bool) -> bool:
+        if self.roster is None:
+            # Ring went down during the transit latency.
+            self._requeue(frame, inserted)
+            return False
+        if self.roster.size == 1:
+            # Singleton ring: no fibre to cross; the "tour" is immediate.
+            if inserted:
+                self.counters.incr("tx_inserted")
+                self.counters.incr("tours_completed")
+                if self.on_tour_complete is not None:
+                    self.on_tour_complete(frame)
+            return True
+        port = self.ports[self.roster.hop_switch_from(self.node_id)]
+        if not port.carrier_up:
+            # Our active hop just died; rostering will rebuild.  Local
+            # frames wait, transit frames are lost with the light.
+            if inserted:
+                self._requeue(frame, inserted)
+            else:
+                self.counters.incr("transit_lost_carrier")
+            return False
+        if inserted:
+            frame.inserted_at = self.sim.now
+            frame.meta["hops"] = 0
+            self._outstanding[frame.frame_id] = frame
+            self.controller.inserted(self.sim.now)
+            self.counters.incr("tx_inserted")
+        else:
+            self.counters.incr("tx_transit")
+        port.send(frame)
+        return True
+
+    def _requeue(self, frame: Frame, inserted: bool) -> None:
+        if inserted:
+            if frame.packet.flags & Flags.PRIORITY:
+                self._priority_insertion.insert(0, frame)
+            else:
+                self._insertion.insert(0, frame)
+        # transit frames are dropped by the caller's accounting
+
+    # ------------------------------------------------------------------- rx
+    def on_frame(self, frame: Frame, port: Port) -> None:
+        """Entry point for ring traffic arriving from the physical layer."""
+        if not self.ring_gate.is_open or self.roster is None:
+            self.counters.incr("rx_ring_down_drop")
+            return
+        pkt = frame.packet
+        frame.hop(self.name)
+
+        if pkt.src == self.node_id:
+            # Source strip: the frame completed its tour of the ring.
+            done = self._outstanding.pop(frame.frame_id, None)
+            if done is not None:
+                self.controller.tour_completed()
+                self.counters.incr("tours_completed")
+                if self.on_tour_complete is not None:
+                    self.on_tour_complete(frame)
+                # The freed window slot may unblock a queued insertion.
+                self._kick()
+            else:
+                self.counters.incr("stale_strip")
+            return
+
+        hops = frame.meta.get("hops", 0) + 1
+        frame.meta["hops"] = hops
+        if hops > self.roster.size + 2:
+            # Orphan scrub: the inserter left the ring mid-tour.
+            self.counters.incr("orphans_scrubbed")
+            return
+
+        if pkt.is_broadcast or pkt.dst == self.node_id:
+            self.counters.incr("rx_delivered")
+            if frame.inserted_at is not None:
+                self.delivery_latency.add(self.sim.now - frame.inserted_at)
+            if self.on_deliver is not None:
+                self.on_deliver(pkt, frame)
+
+        # Source removal: everything keeps circulating back to its source.
+        if self.transit_depth >= self.config.transit_capacity:
+            self.counters.incr("transit_overflow_drop")
+            self.tracer.record(
+                self.sim.now, "transit_drop", self.name, packet=pkt.describe(),
+            )
+            return
+        if pkt.flags & Flags.PRIORITY:
+            self._transit_priority.append(frame)
+        else:
+            self._transit.append(frame)
+            self.controller.observe_transit_depth(len(self._transit))
+        self._kick()

@@ -1,0 +1,419 @@
+"""The per-node rostering agent (slide 16).
+
+    "Algorithm starts automatically whenever a failure is detected.
+     A modified flooding algorithm that explores the network for
+     available paths and allows the creation of the largest possible
+     logical ring.  Packets are forwarded according to rostering rules.
+     Rostering completes in two ring-tour times."
+
+Protocol, per round ``r``:
+
+1. **Trigger** — hardware carrier loss, heartbeat timeout, a JOIN cell
+   from a booting node, or an EXPLORE cell for a newer round.  The agent
+   tears the local ring state down and floods ``EXPLORE(origin, r)`` plus
+   its own ``REPORT(r)`` on every live port.
+2. **Exploration** — switches flood rostering cells (rostering rules);
+   nodes relay each distinct cell once, so exploration reaches every
+   physically connected survivor even across partitioned switch groups.
+   Every node accumulates the round's REPORTs for one ring-tour window.
+3. **Commit** — the lowest-id reporter is the round's master.  It runs
+   :func:`~repro.rostering.roster.compute_roster` over the collected
+   attachment map, configures the surviving switches, and floods the
+   roster as COMMIT chunks.  Every member installs the roster, picking
+   each hop's switch with the same deterministic rule the master used.
+4. **Certification** — the caller (AmpDK diagnostics) tours a DIAGNOSTIC
+   cell around the new ring and re-triggers rostering if it fails
+   (slide 18: "built-in diagnostics certify new configuration").
+
+The report window is one estimated ring-tour time and certification is a
+physical tour, which is why rostering completes in two ring-tour times —
+the slide-16 claim bench F7 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional, Set
+
+from ..micropacket import MicroPacket
+from ..phys import Port
+from ..phys.frame import Frame, frame_for
+from ..sim import Counter, Simulator, Tracer
+from .roster import Roster, compute_roster
+from .wire import (
+    CommitAssembler,
+    Phase,
+    RosterMessage,
+    decode,
+    encode_commit_chunks,
+    encode_explore,
+    encode_join,
+    encode_report,
+    flood_key,
+)
+
+__all__ = ["RosterAgent", "RosterConfig", "AgentState"]
+
+
+class AgentState(Enum):
+    DOWN = auto()         # not part of any ring
+    EXPLORING = auto()    # a round is in progress
+    OPERATIONAL = auto()  # roster installed, ring carrying traffic
+
+
+@dataclass
+class RosterConfig:
+    """Per-node rostering parameters."""
+
+    #: Report collection window — one estimated ring-tour time.
+    report_window_ns: int = 100_000
+    #: How long a non-master waits for a commit before escalating.
+    commit_timeout_factor: float = 3.0
+    #: Protocol version advertised in reports (assimilation, slide 17).
+    version: tuple = (1, 0)
+    #: Qualification score for failover elections (slide 19).
+    qualification: int = 0
+    #: Minimum compatible version a master will admit to its roster.
+    min_version: tuple = (1, 0)
+
+
+class RosterAgent:
+    """Rostering state machine for one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        ports: List[Port],
+        config: Optional[RosterConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.ports = ports
+        self.config = config or RosterConfig()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.name = f"roster-{node_id}"
+
+        self.state = AgentState.DOWN
+        self.round_no = 0
+        self.roster: Optional[Roster] = None
+        #: cleared while the node is powered off; a dead NIC must not
+        #: react to stale timers or explore its dark ports
+        self.enabled = True
+        self.counters = Counter()
+
+        self._reports: Dict[int, RosterMessage] = {}
+        self._relayed: Set[bytes] = set()
+        self._assembler = CommitAssembler()
+        self._round_started_at = 0
+        self._trigger_time: Optional[int] = None
+
+        #: called with the new Roster when this node installs it
+        self.on_installed: Optional[Callable[[Roster], None]] = None
+        #: called when the ring goes down (before exploring)
+        self.on_ring_down: Optional[Callable[[str], None]] = None
+        #: master-only: apply switch crossconnect maps (control plane)
+        self.switch_configurator: Optional[
+            Callable[[Dict[int, Dict[int, int]], Roster], None]
+        ] = None
+
+    # ------------------------------------------------------------- queries
+    @property
+    def is_master(self) -> bool:
+        """Master of the current round = lowest reporting node id."""
+        return bool(self._reports) and min(self._reports) == self.node_id
+
+    def live_port_bitmap(self) -> int:
+        bitmap = 0
+        for k, port in enumerate(self.ports):
+            if port.carrier_up:
+                bitmap |= 1 << k
+        return bitmap
+
+    # ------------------------------------------------------------ triggers
+    def trigger(self, reason: str) -> None:
+        """A failure (or join request) demands a new roster."""
+        if not self.enabled:
+            return
+        if self.state == AgentState.EXPLORING:
+            # Already rostering; the current round will pick up the new
+            # physical reality because reports reflect live carrier.
+            self.counters.incr("trigger_coalesced")
+            return
+        if self._trigger_time is None:
+            self._trigger_time = self.sim.now
+        self.counters.incr("triggers")
+        self.tracer.record(self.sim.now, "roster_trigger", self.name, reason=reason)
+        self._start_round(self.round_no + 1)
+
+    def request_join(self) -> None:
+        """Booting node announces itself (slide 17 node entry)."""
+        self.counters.incr("join_requests")
+        self._flood(encode_join(self.node_id))
+        # If nobody answers (we are first up), trigger our own round.
+        self.sim.call_in(
+            int(self.config.report_window_ns * self.config.commit_timeout_factor),
+            self._join_fallback,
+        )
+
+    def _join_fallback(self) -> None:
+        if self.state == AgentState.DOWN:
+            self.trigger("join unanswered")
+
+    def on_carrier_change(self, up: bool, port: Port) -> None:
+        """Wired to every port's carrier handler by the node."""
+        if up:
+            return
+        if self.state == AgentState.OPERATIONAL:
+            self.trigger(f"carrier loss on {port.name}")
+
+    # --------------------------------------------------------------- rounds
+    def _start_round(self, round_no: int) -> None:
+        self.round_no = round_no & 0xFF or 1  # wrap past 0 (0 = "no round")
+        if self.state == AgentState.OPERATIONAL and self.on_ring_down is not None:
+            self.on_ring_down(f"round {self.round_no}")
+        self.state = AgentState.EXPLORING
+        self.roster = None
+        self._reports = {}
+        self._relayed = set()
+        self._assembler.reset()
+        self._round_started_at = self.sim.now
+        self.counters.incr("rounds_started")
+
+        explore = encode_explore(self.node_id, self.round_no)
+        self._relayed.add(flood_key(explore.payload))
+        self._flood(explore)
+        self._emit_report()
+        window = self.config.report_window_ns
+        round_snapshot = self.round_no
+        self.sim.call_in(window, lambda: self._decide(round_snapshot))
+        self.sim.call_in(
+            int(window * self.config.commit_timeout_factor),
+            lambda: self._commit_timeout(round_snapshot),
+        )
+
+    def _join_round(self, round_no: int) -> None:
+        """Adopt a newer round announced by someone else."""
+        self._start_round_for(round_no)
+
+    def _start_round_for(self, round_no: int) -> None:
+        # Same as _start_round but without bumping past the seen round.
+        if self.state == AgentState.OPERATIONAL and self.on_ring_down is not None:
+            self.on_ring_down(f"round {round_no}")
+        if self._trigger_time is None:
+            self._trigger_time = self.sim.now
+        self.state = AgentState.EXPLORING
+        self.round_no = round_no
+        self.roster = None
+        self._reports = {}
+        self._relayed = set()
+        self._assembler.reset()
+        self._round_started_at = self.sim.now
+        self.counters.incr("rounds_joined")
+        self._emit_report()
+        window = self.config.report_window_ns
+        self.sim.call_in(window, lambda: self._decide(round_no))
+        self.sim.call_in(
+            int(window * self.config.commit_timeout_factor),
+            lambda: self._commit_timeout(round_no),
+        )
+
+    def _emit_report(self) -> None:
+        report = encode_report(
+            self.node_id,
+            self.round_no,
+            self.live_port_bitmap(),
+            qualification=self.config.qualification,
+            version=self.config.version,
+        )
+        msg = decode(report)
+        self._reports[self.node_id] = msg
+        self._relayed.add(flood_key(report.payload))
+        self._flood(report)
+
+    # ------------------------------------------------------------- receive
+    def on_cell(self, frame: Frame, port: Port) -> None:
+        """Entry point for ROSTERING frames from the physical layer."""
+        if not self.enabled:
+            return
+        msg = decode(frame.packet)
+        newer = self._is_newer_round(msg.round_no)
+
+        if msg.phase in (Phase.EXPLORE, Phase.JOIN):
+            if msg.phase == Phase.JOIN:
+                if self.state != AgentState.EXPLORING:
+                    self.trigger(f"join request from node {msg.origin}")
+                return
+            if newer:
+                self._relay(frame, port)
+                self._join_round(msg.round_no)
+            elif msg.round_no == self.round_no and self.state == AgentState.EXPLORING:
+                self._relay(frame, port)
+            return
+
+        if msg.phase == Phase.REPORT:
+            if newer:
+                self._join_round(msg.round_no)
+            if msg.round_no == self.round_no and self.state == AgentState.EXPLORING:
+                if msg.origin not in self._reports:
+                    self._reports[msg.origin] = msg
+                self._relay(frame, port)
+            return
+
+        if msg.phase == Phase.COMMIT:
+            if msg.round_no != self.round_no:
+                return
+            self._relay(frame, port)
+            members = self._assembler.add(msg)
+            if members is not None and self.state == AgentState.EXPLORING:
+                self._install(members)
+            return
+
+    def _is_newer_round(self, seen: int) -> bool:
+        """Round numbers are mod-256 monotonic; compare on a half-circle."""
+        return (seen - self.round_no) % 256 not in (0,) and (
+            (seen - self.round_no) % 256 < 128
+        )
+
+    # ---------------------------------------------------------------- flood
+    def _flood(self, packet: MicroPacket, except_port: Optional[Port] = None) -> None:
+        sent = 0
+        for port in self.ports:
+            if port is except_port or not port.carrier_up:
+                continue
+            port.send(frame_for(packet))
+            sent += 1
+        self.counters.incr("cells_flooded", sent)
+
+    def _relay(self, frame: Frame, arrival: Port) -> None:
+        key = flood_key(frame.packet.payload)
+        if key in self._relayed:
+            return
+        self._relayed.add(key)
+        self._flood(frame.packet, except_port=arrival)
+        self.counters.incr("cells_relayed")
+
+    # -------------------------------------------------------------- decide
+    def attachment_from_reports(self) -> Dict[int, Set[int]]:
+        """Attachment map (switch -> nodes) from this round's reports."""
+        attachment: Dict[int, Set[int]] = {}
+        for node, msg in self._reports.items():
+            for k in range(len(self.ports)):
+                if msg.port_bitmap & (1 << k):
+                    attachment.setdefault(k, set()).add(node)
+        return attachment
+
+    def _admissible_reports(self) -> Dict[int, RosterMessage]:
+        """Assimilation rule: exclude version-incompatible nodes."""
+        minv = self.config.min_version
+        out = {}
+        for node, msg in self._reports.items():
+            if msg.version >= tuple(minv):
+                out[node] = msg
+            else:
+                self.counters.incr("version_rejected")
+        return out
+
+    def _decide(self, round_no: int) -> None:
+        if round_no != self.round_no or self.state != AgentState.EXPLORING:
+            return
+        if not self.is_master:
+            return  # wait for the master's commit (or the timeout)
+        admissible = self._admissible_reports()
+        attachment: Dict[int, Set[int]] = {}
+        for node, msg in admissible.items():
+            for k in range(len(self.ports)):
+                if msg.port_bitmap & (1 << k):
+                    attachment.setdefault(k, set()).add(node)
+        computed = compute_roster(self.round_no, attachment)
+        if computed is None:
+            # Totally isolated (all fibres dark): run as a singleton ring
+            # so local applications and the cache replica stay alive —
+            # "nodes can leave and the data is intact" (slide 2).
+            self.counters.incr("isolated_singleton")
+            self._install([self.node_id])
+            return
+        # Normalize hop switches with the shared deterministic rule so the
+        # switch maps the master installs match the tx ports every member
+        # derives at install time.
+        roster = self._normalized_roster(list(computed.members), attachment)
+        if roster is None:  # pragma: no cover - master has the reports
+            self.counters.incr("empty_roster")
+            self.state = AgentState.DOWN
+            return
+        self.counters.incr("rosters_computed")
+        self.tracer.record(
+            self.sim.now, "roster_commit", self.name,
+            round=self.round_no, members=roster.members,
+        )
+        if self.switch_configurator is not None:
+            self.switch_configurator(roster.switch_maps(), roster)
+        for cell in encode_commit_chunks(self.node_id, self.round_no, roster.members):
+            self._relayed.add(flood_key(cell.payload))
+            self._flood(cell)
+        self._install(list(roster.members))
+
+    def _commit_timeout(self, round_no: int) -> None:
+        if round_no != self.round_no or self.state != AgentState.EXPLORING:
+            return
+        self.counters.incr("commit_timeouts")
+        self._start_round(self.round_no + 1)
+
+    # -------------------------------------------------------------- install
+    def _normalized_roster(
+        self, members: List[int], attachment: Dict[int, Set[int]]
+    ) -> Optional[Roster]:
+        """Roster with hop switches from the shared deterministic rule."""
+        if len(members) == 1:
+            return Roster(self.round_no, tuple(members), ())
+        hops = []
+        for i, node in enumerate(members):
+            nxt = members[(i + 1) % len(members)]
+            try:
+                hops.append(self._hop_switch(node, nxt, attachment))
+            except ValueError:
+                return None
+        return Roster(self.round_no, tuple(members), tuple(hops))
+
+    def _install(self, members: List[int]) -> None:
+        attachment = self.attachment_from_reports()
+        if self.node_id not in members:
+            # Excluded (version, partition): stay down, keep listening.
+            self.state = AgentState.DOWN
+            self.counters.incr("excluded_from_roster")
+            return
+        roster = self._normalized_roster(members, attachment)
+        if roster is None:
+            # Missing reports leave us unable to derive hops; escalate so
+            # the next round's flood fills the gap.
+            self.counters.incr("install_failed")
+            self._start_round(self.round_no + 1)
+            return
+        self.roster = roster
+        self.state = AgentState.OPERATIONAL
+        elapsed = (
+            self.sim.now - self._trigger_time
+            if self._trigger_time is not None
+            else self.sim.now - self._round_started_at
+        )
+        self._trigger_time = None
+        self.counters.incr("rosters_installed")
+        self.tracer.record(
+            self.sim.now, "roster_installed", self.name,
+            round=self.round_no, size=roster.size, elapsed_ns=elapsed,
+        )
+        if self.on_installed is not None:
+            self.on_installed(roster)
+
+    @staticmethod
+    def _hop_switch(u: int, v: int, attachment: Dict[int, Set[int]]) -> int:
+        """Deterministic hop-switch rule shared by master and members."""
+        common = [
+            sw for sw, nodes in sorted(attachment.items())
+            if u in nodes and v in nodes
+        ]
+        if not common:
+            raise ValueError(f"no common live switch for hop {u}->{v}")
+        return common[0]

@@ -1,0 +1,205 @@
+"""Rostering MicroPacket payload formats and flood rules.
+
+Rostering cells are fixed-format MicroPackets (slide 4), so every message
+must fit eight payload bytes.  Four phases share a common header::
+
+    byte 0   phase (EXPLORE / REPORT / COMMIT / JOIN)
+    byte 1   origin node id
+    byte 2   round number (mod 256, monotonic per rostering epoch)
+    bytes 3..7  phase-specific
+
+EXPLORE   byte 3 = hop count, rest zero
+REPORT    byte 3 = live-port bitmap (bit k = port to switch k has carrier)
+          byte 4 = qualification score (failover election, slide 19)
+          byte 5, 6 = protocol version major/minor (assimilation, slide 17)
+          byte 7 = reserved
+COMMIT    byte 3 = chunk index, byte 4 = total chunks,
+          bytes 5..7 = up to three roster member ids (0xFF = padding)
+JOIN      same as EXPLORE; emitted by a booting node that wants in
+
+``flood_key`` gives switches and nodes the duplicate-suppression key of
+the "rostering rules" (slide 16): EXPLORE/REPORT/JOIN flood once per
+(phase, origin, round) regardless of hop count; COMMIT floods once per
+chunk.
+
+This module is a leaf (imports nothing above :mod:`repro.micropacket`) so
+the physical layer can apply flood rules without a dependency cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Sequence
+
+from ..micropacket import BROADCAST, MicroPacket, MicroPacketType
+
+__all__ = [
+    "Phase",
+    "PAD",
+    "RosterMessage",
+    "encode_explore",
+    "encode_report",
+    "encode_commit_chunks",
+    "encode_join",
+    "decode",
+    "flood_key",
+    "CommitAssembler",
+]
+
+#: Padding value in commit member lists (never a valid node id).
+PAD = 0xFF
+
+#: Members carried per commit chunk cell.
+_MEMBERS_PER_CHUNK = 3
+
+
+class Phase(IntEnum):
+    EXPLORE = 1
+    REPORT = 2
+    COMMIT = 3
+    JOIN = 4
+
+
+@dataclass(frozen=True)
+class RosterMessage:
+    """Decoded view of one rostering cell."""
+
+    phase: Phase
+    origin: int
+    round_no: int
+    hops: int = 0
+    port_bitmap: int = 0
+    qualification: int = 0
+    version: tuple = (0, 0)
+    chunk_index: int = 0
+    total_chunks: int = 0
+    members: tuple = ()
+
+
+def _cell(origin: int, payload: bytes) -> MicroPacket:
+    return MicroPacket(
+        ptype=MicroPacketType.ROSTERING,
+        src=origin,
+        dst=BROADCAST,
+        payload=payload,
+    )
+
+
+def encode_explore(origin: int, round_no: int, hops: int = 0) -> MicroPacket:
+    payload = bytes([Phase.EXPLORE, origin, round_no & 0xFF, hops & 0xFF, 0, 0, 0, 0])
+    return _cell(origin, payload)
+
+
+def encode_join(origin: int, round_no: int = 0, hops: int = 0) -> MicroPacket:
+    payload = bytes([Phase.JOIN, origin, round_no & 0xFF, hops & 0xFF, 0, 0, 0, 0])
+    return _cell(origin, payload)
+
+
+def encode_report(
+    origin: int,
+    round_no: int,
+    port_bitmap: int,
+    qualification: int = 0,
+    version: Sequence[int] = (1, 0),
+) -> MicroPacket:
+    if not 0 <= port_bitmap <= 0xFF:
+        raise ValueError("port bitmap out of byte range")
+    payload = bytes(
+        [
+            Phase.REPORT,
+            origin,
+            round_no & 0xFF,
+            port_bitmap,
+            qualification & 0xFF,
+            version[0] & 0xFF,
+            version[1] & 0xFF,
+            0,
+        ]
+    )
+    return _cell(origin, payload)
+
+
+def encode_commit_chunks(
+    origin: int, round_no: int, members: Sequence[int]
+) -> List[MicroPacket]:
+    """Chunk a roster member list into commit cells (3 members each)."""
+    if not members:
+        raise ValueError("cannot commit an empty roster")
+    if any(not 0 <= m < PAD for m in members):
+        raise ValueError("member id out of range")
+    chunks: List[MicroPacket] = []
+    groups = [
+        list(members[i : i + _MEMBERS_PER_CHUNK])
+        for i in range(0, len(members), _MEMBERS_PER_CHUNK)
+    ]
+    for idx, group in enumerate(groups):
+        padded = group + [PAD] * (_MEMBERS_PER_CHUNK - len(group))
+        payload = bytes(
+            [Phase.COMMIT, origin, round_no & 0xFF, idx, len(groups), *padded]
+        )
+        chunks.append(_cell(origin, payload))
+    return chunks
+
+
+def decode(packet: MicroPacket) -> RosterMessage:
+    """Parse a ROSTERING MicroPacket's payload."""
+    if packet.ptype != MicroPacketType.ROSTERING:
+        raise ValueError(f"not a rostering packet: {packet.ptype.name}")
+    p = packet.payload.ljust(8, b"\x00")
+    phase = Phase(p[0])
+    origin, round_no = p[1], p[2]
+    if phase in (Phase.EXPLORE, Phase.JOIN):
+        return RosterMessage(phase, origin, round_no, hops=p[3])
+    if phase == Phase.REPORT:
+        return RosterMessage(
+            phase, origin, round_no,
+            port_bitmap=p[3], qualification=p[4], version=(p[5], p[6]),
+        )
+    if phase == Phase.COMMIT:
+        members = tuple(m for m in p[5:8] if m != PAD)
+        return RosterMessage(
+            phase, origin, round_no,
+            chunk_index=p[3], total_chunks=p[4], members=members,
+        )
+    raise ValueError(f"unknown rostering phase {p[0]}")  # pragma: no cover
+
+
+def flood_key(payload: bytes) -> bytes:
+    """Duplicate-suppression key for flooding rostering cells.
+
+    EXPLORE/REPORT/JOIN: once per (phase, origin, round) — the hop count
+    changes as the cell is relayed and must not defeat suppression.
+    COMMIT: once per chunk, so multi-cell rosters get through.
+    """
+    p = bytes(payload[:5]).ljust(5, b"\x00")
+    if p[0] == Phase.COMMIT:
+        return p[:4]  # phase, origin, round, chunk index
+    return p[:3]
+
+
+class CommitAssembler:
+    """Reassembles commit chunk cells into a full member list."""
+
+    def __init__(self) -> None:
+        self._parts: dict = {}
+
+    def add(self, msg: RosterMessage) -> Optional[List[int]]:
+        """Feed a COMMIT message; returns the roster once complete."""
+        if msg.phase != Phase.COMMIT:
+            raise ValueError("not a commit message")
+        key = (msg.origin, msg.round_no)
+        chunks = self._parts.setdefault(key, {})
+        chunks[msg.chunk_index] = msg.members
+        if len(chunks) == msg.total_chunks:
+            members: List[int] = []
+            for idx in range(msg.total_chunks):
+                if idx not in chunks:  # pragma: no cover - defensive
+                    return None
+                members.extend(chunks[idx])
+            del self._parts[key]
+            return members
+        return None
+
+    def reset(self) -> None:
+        self._parts.clear()

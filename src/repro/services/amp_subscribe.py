@@ -1,0 +1,78 @@
+"""AmpSubscribe: topic-based publish/subscribe (slide 12).
+
+Publications are broadcast on the ring; every node's service delivers to
+its local subscribers.  Because ring broadcasts reach every member (and
+the reliable messenger replays across roster changes), a publication
+accepted by the service is seen by every subscriber that stays in the
+network — the pub/sub flavour of the availability story.
+
+Wire format on the SUBSCRIBE channel::
+
+    byte 0       topic length
+    bytes 1..n   topic (utf-8)
+    bytes n+1..  payload
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from ..micropacket import BROADCAST
+from ..sim import Counter
+from ..transport import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["AmpSubscribe"]
+
+SubscriberFn = Callable[[str, bytes, int], None]  # (topic, payload, publisher)
+
+
+class AmpSubscribe:
+    """Per-node pub/sub endpoint."""
+
+    def __init__(self, node: "AmpNode"):
+        self.node = node
+        self.counters = Counter()
+        self._subs: Dict[str, List[SubscriberFn]] = {}
+        node.messenger.on_message(Channel.SUBSCRIBE, self._on_message)
+
+    def subscribe(self, topic: str, fn: SubscriberFn) -> Callable[[], None]:
+        """Register a local subscriber; returns an unsubscribe callable."""
+        if not topic:
+            raise ValueError("empty topic")
+        self._subs.setdefault(topic, []).append(fn)
+        self.counters.incr("subscriptions")
+
+        def unsubscribe() -> None:
+            try:
+                self._subs.get(topic, []).remove(fn)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: bytes):
+        """Broadcast a publication; returns the delivery handle."""
+        topic_b = topic.encode("utf-8")
+        if not 1 <= len(topic_b) <= 255:
+            raise ValueError("topic must encode to 1..255 bytes")
+        self.counters.incr("published")
+        # Local subscribers hear it too (ring broadcasts skip the source).
+        self._fan_out(topic, payload, self.node.node_id)
+        return self.node.messenger.send(
+            BROADCAST, bytes([len(topic_b)]) + topic_b + payload, Channel.SUBSCRIBE
+        )
+
+    def _on_message(self, src: int, raw: bytes, channel: int) -> None:
+        topic_len = raw[0]
+        topic = raw[1 : 1 + topic_len].decode("utf-8")
+        payload = raw[1 + topic_len :]
+        self.counters.incr("received")
+        self._fan_out(topic, payload, src)
+
+    def _fan_out(self, topic: str, payload: bytes, publisher: int) -> None:
+        for fn in list(self._subs.get(topic, [])):
+            fn(topic, payload, publisher)
+            self.counters.incr("delivered")

@@ -1,0 +1,127 @@
+"""AmpThreads: remote thread execution (slide 12, "supports embedded
+multi-threaded application processes", slide 17).
+
+A node registers named entry points; any node can spawn one remotely and
+await its result.  Spawn requests and results ride the reliable
+messenger, so a spawn accepted before a failure is re-delivered to the
+(surviving) target after the ring heals.
+
+Wire format on the THREADS channel::
+
+    byte 0       opcode (SPAWN / RESULT / ERROR)
+    bytes 1..4   call id (little-endian u32)
+    byte 5       name length (SPAWN) / zero
+    ...          name + args payload (SPAWN) or result payload
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..sim import Counter, Event
+from ..transport import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["AmpThreads", "RemoteCallError"]
+
+_OP_SPAWN = 1
+_OP_RESULT = 2
+_OP_ERROR = 3
+
+#: A remote entry point: generator function (node, args) -> result bytes.
+EntryPoint = Callable[["AmpNode", bytes], Generator]
+
+
+class RemoteCallError(Exception):
+    """The remote entry point raised or does not exist."""
+
+
+class AmpThreads:
+    """Per-node remote thread service."""
+
+    def __init__(self, node: "AmpNode"):
+        self.node = node
+        self.sim = node.sim
+        self.counters = Counter()
+        self._entries: Dict[str, EntryPoint] = {}
+        self._next_call = 1
+        self._pending: Dict[int, Event] = {}
+        node.messenger.on_message(Channel.THREADS, self._on_message)
+
+    # ------------------------------------------------------------ registry
+    def register(self, name: str, fn: EntryPoint) -> None:
+        """Expose a generator function as a remotely spawnable thread."""
+        if name in self._entries:
+            raise ValueError(f"entry point {name!r} already registered")
+        if len(name.encode("utf-8")) > 200:
+            raise ValueError("entry point name too long")
+        self._entries[name] = fn
+
+    # --------------------------------------------------------------- spawn
+    def spawn(self, dst: int, name: str, args: bytes = b"") -> Generator:
+        """Process: run ``name(args)`` on node ``dst``, return its result.
+
+        Raises :class:`RemoteCallError` if the remote raised or the entry
+        point is unknown there.
+        """
+        call_id = self._next_call
+        self._next_call += 1
+        done = self.sim.event()
+        self._pending[call_id] = done
+        name_b = name.encode("utf-8")
+        payload = (
+            bytes([_OP_SPAWN])
+            + call_id.to_bytes(4, "little")
+            + bytes([len(name_b)])
+            + name_b
+            + args
+        )
+        self.counters.incr("spawns")
+        self.node.messenger.send(dst, payload, Channel.THREADS)
+        result = yield done
+        status, body = result
+        if status == _OP_ERROR:
+            raise RemoteCallError(body.decode("utf-8", "replace"))
+        return body
+
+    # ------------------------------------------------------------- receive
+    def _on_message(self, src: int, raw: bytes, channel: int) -> None:
+        op = raw[0]
+        call_id = int.from_bytes(raw[1:5], "little")
+        if op == _OP_SPAWN:
+            name_len = raw[5]
+            name = raw[6 : 6 + name_len].decode("utf-8")
+            args = raw[6 + name_len :]
+            self.sim.process(self._run(src, call_id, name, args))
+        elif op in (_OP_RESULT, _OP_ERROR):
+            done = self._pending.pop(call_id, None)
+            if done is not None and not done.triggered:
+                done.succeed((op, raw[5:]))
+
+    def _run(self, src: int, call_id: int, name: str, args: bytes):
+        fn = self._entries.get(name)
+        header = bytes([_OP_RESULT]) + call_id.to_bytes(4, "little")
+        if fn is None:
+            self.counters.incr("unknown_entry")
+            payload = (
+                bytes([_OP_ERROR])
+                + call_id.to_bytes(4, "little")
+                + f"no entry point {name!r}".encode("utf-8")
+            )
+            self.node.messenger.send(src, payload, Channel.THREADS)
+            return
+        try:
+            result = yield from fn(self.node, args)
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            self.counters.incr("remote_errors")
+            payload = (
+                bytes([_OP_ERROR])
+                + call_id.to_bytes(4, "little")
+                + repr(exc).encode("utf-8")
+            )
+            self.node.messenger.send(src, payload, Channel.THREADS)
+            return
+        self.counters.incr("completions")
+        self.node.messenger.send(src, header + bytes(result or b""), Channel.THREADS)

@@ -1,0 +1,158 @@
+"""Inter-segment router (slide 15's "R").
+
+Slide 15 draws dual- and quad-redundant segments joined by a router:
+each segment runs its own logical ring and rostering domain, and the
+router carries traffic between them.  We model the router as a pair of
+gateway nodes — one member of each segment — joined by a backplane with
+a fixed forwarding latency (the router's internal fabric).
+
+Addressing: ``(segment_id, node_id)``.  Hosts hand the router service a
+segment-qualified destination; traffic for the local segment short-cuts
+straight onto the local ring, anything else crosses the backplane and is
+re-originated by the remote gateway.  Both directions use the reliable
+messenger, so inter-segment messages inherit replay-across-failure on
+each ring they traverse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..sim import Counter
+from ..transport import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = ["InterSegmentRouter", "SegmentEndpoint"]
+
+#: message channel reserved for inter-segment traffic
+_ROUTER_CHANNEL = 12
+
+ReceiveFn = Callable[[Tuple[int, int], bytes], None]  # ((segment, node), data)
+
+
+class SegmentEndpoint:
+    """Per-node endpoint for segment-qualified messaging."""
+
+    def __init__(self, router: "InterSegmentRouter", segment_id: int, node_id: int):
+        self.router = router
+        self.segment_id = segment_id
+        self.node_id = node_id
+        self.on_receive: Optional[ReceiveFn] = None
+
+    def send(self, dst: Tuple[int, int], payload: bytes) -> None:
+        """Send to (segment, node) anywhere in the routed network."""
+        self.router._route(
+            src=(self.segment_id, self.node_id), dst=dst, payload=payload
+        )
+
+
+class InterSegmentRouter:
+    """Joins two AmpNet segments through gateway nodes.
+
+    Parameters
+    ----------
+    segments:
+        ``{segment_id: (cluster, gateway_node_id)}`` — the gateway node
+        is the segment member the router's port plugs into.
+    backplane_ns:
+        Forwarding latency across the router fabric.
+    """
+
+    def __init__(
+        self,
+        segments: Dict[int, Tuple["AmpNetCluster", int]],
+        backplane_ns: int = 2_000,
+    ):
+        if len(segments) < 2:
+            raise ValueError("a router joins at least two segments")
+        sims = {cluster.sim for cluster, _gw in segments.values()}
+        if len(sims) != 1:
+            raise ValueError("all segments must share one simulator")
+        self.sim = next(iter(sims))
+        self.segments = dict(segments)
+        self.backplane_ns = backplane_ns
+        self.counters = Counter()
+        self._endpoints: Dict[Tuple[int, int], SegmentEndpoint] = {}
+
+        # Claim the router channel on every node of every segment.
+        for seg_id, (cluster, _gw) in self.segments.items():
+            for node in cluster.nodes.values():
+                node.messenger.on_message(
+                    _ROUTER_CHANNEL,
+                    lambda src, raw, ch, seg=seg_id: self._on_segment_message(
+                        seg, src, raw
+                    ),
+                )
+
+    # ------------------------------------------------------------ endpoints
+    def endpoint(self, segment_id: int, node_id: int) -> SegmentEndpoint:
+        key = (segment_id, node_id)
+        ep = self._endpoints.get(key)
+        if ep is None:
+            if segment_id not in self.segments:
+                raise ValueError(f"unknown segment {segment_id}")
+            cluster, _gw = self.segments[segment_id]
+            if node_id not in cluster.nodes:
+                raise ValueError(f"no node {node_id} in segment {segment_id}")
+            ep = self._endpoints[key] = SegmentEndpoint(self, segment_id, node_id)
+        return ep
+
+    # -------------------------------------------------------------- routing
+    @staticmethod
+    def _pack(src: Tuple[int, int], dst: Tuple[int, int], payload: bytes) -> bytes:
+        return bytes([src[0], src[1], dst[0], dst[1]]) + payload
+
+    @staticmethod
+    def _unpack(raw: bytes) -> Tuple[Tuple[int, int], Tuple[int, int], bytes]:
+        return (raw[0], raw[1]), (raw[2], raw[3]), raw[4:]
+
+    def _route(
+        self, src: Tuple[int, int], dst: Tuple[int, int], payload: bytes
+    ) -> None:
+        if dst[0] not in self.segments:
+            raise ValueError(f"unroutable segment {dst[0]}")
+        raw = self._pack(src, dst, payload)
+        cluster, _gw = self.segments[src[0]]
+        origin = cluster.nodes[src[1]]
+        self.counters.incr("originated")
+        if dst[0] == src[0]:
+            origin.messenger.send(dst[1], raw, _ROUTER_CHANNEL)
+        else:
+            # To the local gateway first (unless we are the gateway).
+            gw = self.segments[src[0]][1]
+            if src[1] == gw:
+                self._cross(src[0], raw)
+            else:
+                origin.messenger.send(gw, raw, _ROUTER_CHANNEL)
+
+    def _on_segment_message(self, segment_id: int, src: int, raw: bytes) -> None:
+        _src_addr, dst, payload = self._unpack(raw)
+        cluster, gateway = self.segments[segment_id]
+        if dst[0] != segment_id:
+            # We must be the gateway: push it across the backplane.
+            if gateway in cluster.nodes:
+                self.counters.incr("to_backplane")
+                self._cross(segment_id, raw)
+            return
+        ep = self._endpoints.get(dst)
+        self.counters.incr("delivered")
+        if ep is not None and ep.on_receive is not None:
+            ep.on_receive(_src_addr, payload)
+
+    def _cross(self, from_segment: int, raw: bytes) -> None:
+        _src, dst, _payload = self._unpack(raw)
+        target_cluster, target_gw = self.segments[dst[0]]
+
+        def arrive() -> None:
+            # Re-originate from the remote gateway onto its ring.
+            gw_node = target_cluster.nodes[target_gw]
+            self.counters.incr("crossed")
+            if dst[1] == target_gw:
+                # Destination is the gateway itself: deliver directly.
+                self._on_segment_message(dst[0], target_gw, raw)
+            else:
+                gw_node.messenger.send(dst[1], raw, _ROUTER_CHANNEL)
+
+        self.sim.call_in(self.backplane_ns, arrive)

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation kernel (AmpNet substrate).
+
+Public surface::
+
+    from repro.sim import Simulator, Interrupt, Store, Gate, Tracer
+
+See :mod:`repro.sim.kernel` for the event-loop semantics.
+"""
+
+from .events import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Timeout
+from .kernel import Simulator, StopSimulation
+from .monitor import Counter, LatencyStat, TimeSeries, Tracer
+from .rand import SeededStreams, derive_seed
+from .resources import Gate, PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "LatencyStat",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SeededStreams",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "Tracer",
+    "derive_seed",
+]

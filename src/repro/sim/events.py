@@ -1,0 +1,334 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is deliberately simpy-flavoured: simulation actors are Python
+generators that ``yield`` :class:`Event` objects and are resumed when those
+events fire.  Everything in the AmpNet model — links, NIC firmware, the
+AmpDK distributed kernel, host applications — runs as such a process.
+
+Events move through three stages:
+
+``pending``    created, nobody has triggered it yet
+``triggered``  a value (or an exception) has been attached and the event is
+               sitting in the kernel's schedule queue
+``processed``  the kernel has popped it and run its callbacks
+
+Only integer simulated time is used (nanoseconds throughout the AmpNet
+model) so that runs are exactly reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another actor interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter supplied
+    (for AmpNet this is typically a :class:`~repro.faults.injector.FaultEvent`
+    or a roster-change notice).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event may succeed with a value or fail with an exception.  Waiting
+    processes receive the value as the result of their ``yield`` (or have
+    the exception raised at the yield point).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: callables invoked with this event once it is processed
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self.processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception attached to the event."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every waiting process at its yield
+        point.  Unwaited failures surface when the kernel processes the
+        event (configurable via ``Simulator(strict=...)``).
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.sim._enqueue(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Chain helper: trigger this event with another event's outcome."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- internal ----------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks; called exactly once by the kernel."""
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at 0x{id(self):x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._enqueue(self, delay=delay)
+
+    # A Timeout is triggered at construction; succeed/fail are invalid.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered at creation")
+
+    def fail(self, exc: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered at creation")
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator may yield:
+
+    * an :class:`Event` — the process resumes when it fires, receiving its
+      value (or having its failure raised),
+    * another :class:`Process` — waits for termination (return value passed
+      through).
+
+    ``return value`` inside the generator becomes the process result.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"process() requires a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: event this process currently waits on (None once finished)
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume the generator at time now (same-timestep).
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resumption.
+
+        Interrupting a finished process is a no-op (the AmpNet fault
+        injector frequently races real completion; making this benign keeps
+        scenario scripts simple).
+        """
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # Detach from the waited-on event and schedule immediate resumption.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        wake = Event(self.sim)
+        wake.callbacks.append(self._resume)
+        wake.succeed(None)
+
+    # -- driving the generator ----------------------------------------------
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            while True:
+                if self._interrupts:
+                    exc = self._interrupts.pop(0)
+                    target = self.gen.throw(exc)
+                elif event is None or event._ok:
+                    target = self.gen.send(None if event is None else event._value)
+                else:
+                    # Propagate failure into the generator.
+                    target = self.gen.throw(event._value)
+                # The generator yielded a new target event.
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                if target.sim is not sim:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded event from another simulator"
+                    )
+                if target.processed:
+                    # Already fired: resume immediately within this step.
+                    event = target
+                    continue
+                self._target = target
+                if target.callbacks is None:  # pragma: no cover - defensive
+                    raise SimulationError("target event lost its callback list")
+                target.callbacks.append(self._resume)
+                return
+        except StopIteration as stop:
+            self._target = None
+            self._value = stop.value
+            self._ok = True
+            sim._enqueue(self)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            self._target = None
+            self._value = exc
+            self._ok = False
+            sim._enqueue(self)
+        finally:
+            sim._active_process = None
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite wait conditions."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Map of event -> value for all already-fired member events."""
+        return {
+            ev: ev._value for ev in self.events if ev.processed and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first member event fires (failure propagates)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when every member event has fired (first failure propagates)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())

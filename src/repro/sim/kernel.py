@@ -1,0 +1,183 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate on which the whole AmpNet model runs.  Design goals,
+in order:
+
+1. **Determinism** — integer nanosecond clock, strict FIFO tie-breaking for
+   events scheduled at the same instant, and seeded random streams (see
+   :mod:`repro.sim.rand`).  Two runs with the same seed produce identical
+   traces, which the failover experiments rely on.
+2. **Speed** — a single binary heap of ``(time, seq)`` keys; callbacks are
+   plain Python callables; events use ``__slots__``.  A full F3 all-to-all
+   broadcast storm (16 nodes) pushes a few hundred thousand events and
+   completes in seconds on a laptop, matching the repro band.
+3. **Ergonomics** — simpy-style generator processes so protocol state
+   machines (rostering, DMA engines, TCP baseline) read like sequential
+   code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+from .rand import SeededStreams
+
+__all__ = ["Simulator", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` at an event."""
+
+
+class Simulator:
+    """Event loop with an integer-nanosecond clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulation's named random streams.  Every
+        stochastic component (workload generators, fault injectors, jitter
+        models) draws from ``sim.rng.stream(name)`` so components never
+        perturb each other's randomness.
+    strict:
+        When True (default), an event that *fails* with no process waiting
+        on it aborts the simulation by re-raising the exception.  This
+        catches silently-dying firmware processes in tests.
+    """
+
+    def __init__(self, seed: int = 0, strict: bool = True):
+        self._now: int = 0
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+        self.rng = SeededStreams(seed)
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(
+        self,
+        gen: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"call_at({time}) is in the past (now={self._now})")
+        ev = self.timeout(time - self._now)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def call_in(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` ns."""
+        ev = self.timeout(delay)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # ------------------------------------------------------------- scheduling
+    def _enqueue(self, event: Event, delay: int = 0) -> None:
+        """Put a triggered event on the schedule queue (kernel internal)."""
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next scheduled event, or None if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on empty schedule")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError("time ran backwards")
+        self._now = when
+        had_waiters = bool(event.callbacks)
+        event._process()
+        if self.strict and not event._ok and not had_waiters:
+            # A failure nobody observed: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the schedule drains,
+        * an ``int`` — run until simulated time reaches that instant,
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its failure).
+        """
+        if until is None:
+            stop_time: Optional[int] = None
+        elif isinstance(until, Event):
+            if until.processed:
+                if until._ok:
+                    return until._value
+                raise until._value  # type: ignore[misc]
+            assert until.callbacks is not None
+            until.callbacks.append(self._stop_on)
+            stop_time = None
+        else:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue:
+                if stop_time is not None and self._queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            raise event._value from None
+        if stop_time is not None:
+            # Queue drained before the horizon: advance the clock anyway so
+            # repeated run(until=...) calls observe monotonic time.
+            self._now = stop_time
+        if isinstance(until, Event) and not until.processed:
+            raise SimulationError("run(until=event): schedule drained first")
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        raise StopSimulation(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now}ns queued={len(self._queue)}>"

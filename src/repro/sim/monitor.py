@@ -1,0 +1,183 @@
+"""Trace recording and lightweight statistics for simulation runs.
+
+The analysis layer (:mod:`repro.analysis`) and every benchmark consume the
+structures defined here.  Recording is cheap (append to a list / integer
+bumps) so it can stay enabled during benchmarks without distorting them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "Counter", "TimeSeries", "LatencyStat"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: what happened, where, when."""
+
+    time: int
+    category: str
+    source: str
+    data: Dict[str, Any]
+
+
+class Tracer:
+    """Append-only event trace with category filtering.
+
+    A single Tracer is shared by a whole cluster model; components call
+    :meth:`record` with their own ``source`` tag.  Categories can be
+    disabled wholesale to keep hot paths cheap.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._muted: set = set()
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def mute(self, category: str) -> None:
+        """Stop recording a category (existing records are kept)."""
+        self._muted.add(category)
+
+    def unmute(self, category: str) -> None:
+        self._muted.discard(category)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a live listener (used by tests asserting on traces)."""
+        self._listeners.append(listener)
+
+    def record(self, time: int, category: str, source: str, **data: Any) -> None:
+        if not self.enabled or category in self._muted:
+            return
+        rec = TraceRecord(time, category, source, data)
+        self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Filter the trace by category, source prefix and/or start time."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if source is not None:
+            out = [r for r in out if r.source.startswith(source)]
+        if since is not None:
+            out = [r for r in out if r.time >= since]
+        return list(out)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Counter:
+    """Named integer counters with dict-like access."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class TimeSeries:
+    """(time, value) samples with summary statistics."""
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[int, float]] = []
+
+    def add(self, time: int, value: float) -> None:
+        self.samples.append((time, value))
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _t, v in self.samples]
+
+    def mean(self) -> float:
+        vals = self.values
+        return sum(vals) / len(vals) if vals else math.nan
+
+    def maximum(self) -> float:
+        vals = self.values
+        return max(vals) if vals else math.nan
+
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else math.nan
+
+    def rate(self) -> float:
+        """Total value divided by the spanned time (per-ns rate)."""
+        if len(self.samples) < 2:
+            return math.nan
+        span = self.samples[-1][0] - self.samples[0][0]
+        return sum(self.values) / span if span else math.nan
+
+
+class LatencyStat:
+    """Streaming latency statistics (count/mean/min/max/percentiles).
+
+    Stores every sample; the experiment scales here (<= millions of
+    packets) make that fine and keep percentiles exact.
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[int] = []
+
+    def add(self, value: int) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[int]) -> None:
+        self.samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else math.nan
+
+    def minimum(self) -> int:
+        return min(self.samples) if self.samples else 0
+
+    def maximum(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via linear interpolation (p in [0, 100])."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile out of range")
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return float(data[0])
+        rank = (p / 100) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "min": float(self.minimum()),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": float(self.maximum()),
+        }

@@ -1,0 +1,224 @@
+"""Waitable resources built on the event kernel.
+
+These are the queueing primitives the AmpNet model is assembled from:
+
+* :class:`Store` — FIFO buffer with optional capacity; used for link
+  receive queues, NIC transit buffers and DMA descriptor rings.
+* :class:`PriorityStore` — like Store but pops lowest priority first; used
+  where rostering MicroPackets must overtake data traffic.
+* :class:`Resource` — counting semaphore; models DMA channel arbitration
+  and ColdFire firmware CPU slots.
+* :class:`Gate` — a reusable level-triggered condition ("ring is up",
+  "carrier present") that processes can wait to become open.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .events import Event, SimulationError
+from .kernel import Simulator
+
+__all__ = ["Store", "PriorityStore", "Resource", "Gate"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires when the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: Simulator, item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the popped item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """FIFO item buffer with optional capacity and waitable get/put.
+
+    Both ``put`` and ``get`` return events.  ``put`` on a full store blocks
+    until space frees (this back-pressure is exactly how the register
+    insertion ring guarantees zero drops: upstream stages *wait*, they never
+    discard).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        ev = StorePut(self.sim, item)
+        self._putters.append(ev)
+        self._settle()
+        return ev
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self.sim)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False instead of waiting when full."""
+        if self.is_full and not self._getters:
+            return False
+        self.put(item)
+        return True
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get; ``(False, None)`` when nothing buffered."""
+        if not len(self):
+            return False, None
+        item = self._do_get()
+        self._settle()
+        return True, item
+
+    def _settle(self) -> None:
+        """Match queued putters with space and getters with items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and not self.is_full:
+                put = self._putters.popleft()
+                self._do_put(put.item)
+                put.succeed()
+                progressed = True
+            while self._getters and len(self):
+                get = self._getters.popleft()
+                get.succeed(self._do_get())
+                progressed = True
+
+    # Subclass hooks ------------------------------------------------------
+    def _do_put(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _do_get(self) -> Any:
+        return self.items.popleft()
+
+
+class PriorityStore(Store):
+    """Store that pops the *lowest* ``(priority, seq)`` item first.
+
+    Items are ``(priority, payload)`` pairs on put; ``get`` returns just the
+    payload.  Equal priorities preserve insertion order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        super().__init__(sim, capacity)
+        self._heap: List[Tuple[Any, int, Any]] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._heap) >= self.capacity
+
+    def put(self, item: Any, priority: int = 0) -> StorePut:  # type: ignore[override]
+        ev = StorePut(self.sim, (priority, item))
+        self._putters.append(ev)
+        self._settle()
+        return ev
+
+    def _do_put(self, item: Any) -> None:
+        priority, payload = item
+        heapq.heappush(self._heap, (priority, self._count, payload))
+        self._count += 1
+
+    def _do_get(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order.
+
+    ``acquire`` returns an event that fires once a slot is granted; the
+    holder must call ``release`` exactly once per grant.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Gate:
+    """A reusable open/closed condition.
+
+    ``wait_open()`` fires immediately when open, otherwise when the gate
+    next opens.  Used for carrier-sense ("link up") and ring-operational
+    conditions that toggle over a simulation's lifetime.
+    """
+
+    def __init__(self, sim: Simulator, open_: bool = False):
+        self.sim = sim
+        self._open = open_
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        if self._open:
+            return
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait_open(self) -> Event:
+        ev = Event(self.sim)
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev

@@ -1,0 +1,5 @@
+"""Reliable messaging and signalling over the ring MAC."""
+
+from .messaging import Channel, MessageHandle, Messenger
+
+__all__ = ["Channel", "MessageHandle", "Messenger"]

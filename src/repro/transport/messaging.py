@@ -1,0 +1,312 @@
+"""Reliable messaging over the ring: fragmentation, tours-as-acks,
+retransmission across roster changes.
+
+The ring MAC gives the messenger a strong primitive for free: every frame
+is source-stripped, so *a completed tour proves every current ring member
+saw the frame*.  The messenger layers on top:
+
+* **Fragmentation** — arbitrary byte messages ride variable-format DMA
+  MicroPackets, 64 payload bytes per cell, identified by a per-node
+  ``transfer_id`` carried in the DMA control block and ordered by the
+  block's ``offset`` field (exactly what those fields are for, slide 6).
+* **Single-cell signals** — eight-byte INTERRUPT cells for completions
+  and service doorbells (slide 4's Interrupt type).
+* **Reliability** — a frame whose tour completes is confirmed.  When the
+  ring goes down mid-tour the MAC reports the loss and the messenger
+  retransmits once the next roster installs.  Receivers apply fragments
+  idempotently, so retransmission needs no dedup handshake; completed
+  messages are remembered to suppress duplicate *delivery*.
+
+This is the mechanism behind the paper's "no data loss" claim: anything
+accepted by the messenger survives any failure the rostering layer can
+heal, because unconfirmed work is simply replayed onto the new ring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..micropacket import (
+    BROADCAST,
+    DmaControl,
+    Flags,
+    MicroPacket,
+    MicroPacketType,
+    VARIABLE_PAYLOAD_MAX,
+)
+from ..sim import Counter, Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import AmpNode
+
+__all__ = ["Messenger", "MessageHandle", "Channel"]
+
+
+class Channel:
+    """Well-known message/signal channel assignments (4-bit space)."""
+
+    GENERAL = 0
+    CACHE = 1
+    REFRESH = 2
+    SEMAPHORE = 3
+    SUBSCRIBE = 4
+    FILES = 5
+    THREADS = 6
+    CONTROL_GROUP = 7
+    RDMA = 8
+    MPI = 9
+    # 14/15 are reserved by AmpDK diagnostics.
+
+
+#: Completed (src, transfer_id) pairs remembered for duplicate delivery
+#: suppression.
+_COMPLETED_CACHE = 4096
+
+#: Hardware DMA channels on the NIC (slide 11: sixteen DMA channels).
+_N_DMA_CHANNELS = 16
+
+
+@dataclass
+class MessageHandle:
+    """Tracks one outgoing message end-to-end."""
+
+    transfer_id: int
+    dst: int
+    channel: int
+    size: int
+    delivered: Event
+    #: fragments not yet confirmed by a completed tour
+    unconfirmed: Dict[int, MicroPacket] = field(default_factory=dict)
+    retransmits: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.unconfirmed
+
+
+class _Reassembly:
+    """Receive-side state for one (src, transfer_id)."""
+
+    __slots__ = ("chunks", "total", "channel")
+
+    def __init__(self) -> None:
+        self.chunks: Dict[int, bytes] = {}
+        self.total: Optional[int] = None
+        self.channel = 0
+
+    def add(self, offset: int, data: bytes, last: bool, channel: int) -> Optional[bytes]:
+        self.chunks[offset] = data
+        self.channel = channel
+        if last:
+            self.total = offset + len(data)
+        if self.total is None:
+            return None
+        have = sum(len(c) for c in self.chunks.values())
+        if have < self.total:
+            return None
+        # Verify contiguity and assemble.
+        out = bytearray(self.total)
+        covered = 0
+        for off in sorted(self.chunks):
+            chunk = self.chunks[off]
+            if off != covered:
+                return None  # gap (overlapping retransmit mismatch)
+            out[off : off + len(chunk)] = chunk
+            covered = off + len(chunk)
+        return bytes(out)
+
+
+MessageFn = Callable[[int, bytes, int], None]   # (src, payload, channel)
+SignalFn = Callable[[int, bytes], None]         # (src, payload8)
+
+
+class Messenger:
+    """Per-node reliable messaging endpoint."""
+
+    def __init__(self, node: "AmpNode"):
+        self.node = node
+        self.sim = node.sim
+        self.name = f"msgr-{node.node_id}"
+        self.counters = Counter()
+        self.dma_channels = Resource(self.sim, _N_DMA_CHANNELS)
+
+        self._next_tid = 1
+        self._outgoing: Dict[int, MessageHandle] = {}
+        self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
+        self._completed: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._message_handlers: Dict[int, MessageFn] = {}
+        self._signal_handlers: Dict[int, SignalFn] = {}
+
+        node.register_handler(MicroPacketType.DMA, None, self._on_dma)
+        node.register_handler(MicroPacketType.INTERRUPT, None, self._on_interrupt)
+        node.tour_complete_listeners.append(self._on_tour_complete)
+        node.tour_lost_listeners.append(self._on_tour_lost)
+        node.ring_up_listeners.append(self._on_ring_up)
+
+    def reset(self) -> None:
+        """Forget all in-flight state (node crash: NIC memory lost)."""
+        self._outgoing.clear()
+        self._reassembly.clear()
+        self._completed.clear()
+
+    # ---------------------------------------------------------------- send
+    def send(self, dst: int, payload: bytes, channel: int = Channel.GENERAL) -> MessageHandle:
+        """Queue a reliable message; the handle's event fires on confirm.
+
+        ``dst`` may be :data:`~repro.micropacket.BROADCAST`, in which case
+        confirmation means every *current* ring member received it.
+        """
+        if not payload:
+            raise ValueError("empty message")
+        if not 0 <= channel <= 0xF:
+            raise ValueError("channel out of range")
+        tid = self._next_tid
+        self._next_tid = self._next_tid % 0xFFFF + 1
+        handle = MessageHandle(
+            transfer_id=tid, dst=dst, channel=channel,
+            size=len(payload), delivered=self.sim.event(),
+        )
+        self._outgoing[tid] = handle
+        for offset in range(0, len(payload), VARIABLE_PAYLOAD_MAX):
+            chunk = payload[offset : offset + VARIABLE_PAYLOAD_MAX]
+            last = offset + len(chunk) >= len(payload)
+            pkt = MicroPacket(
+                ptype=MicroPacketType.DMA,
+                src=self.node.node_id,
+                dst=dst,
+                channel=channel,
+                payload=chunk,
+                dma=DmaControl(
+                    channel=tid % _N_DMA_CHANNELS,
+                    offset=offset,
+                    transfer_id=tid,
+                    last=last,
+                ),
+            )
+            handle.unconfirmed[offset] = pkt
+        self.counters.incr("messages_sent")
+        self.counters.incr("fragments_sent", len(handle.unconfirmed))
+        self.sim.process(self._stream(handle), name=f"{self.name}.tx{tid}")
+        return handle
+
+    def _stream(self, handle: MessageHandle):
+        """Feed fragments through one of the sixteen DMA channels."""
+        grant = self.dma_channels.acquire()
+        yield grant
+        try:
+            for offset in sorted(handle.unconfirmed):
+                pkt = handle.unconfirmed[offset]
+                frame = self.node.mac.send(pkt)
+                frame.meta["msg"] = (handle.transfer_id, offset)
+        finally:
+            self.dma_channels.release()
+
+    def signal(
+        self,
+        dst: int,
+        payload: bytes,
+        channel: int = Channel.GENERAL,
+        priority: bool = True,
+    ):
+        """Send a single INTERRUPT cell (<= 8 bytes)."""
+        if len(payload) > 8:
+            raise ValueError("signals carry at most eight bytes")
+        flags = Flags.PRIORITY if priority else 0
+        pkt = MicroPacket(
+            ptype=MicroPacketType.INTERRUPT,
+            src=self.node.node_id,
+            dst=dst,
+            channel=channel,
+            flags=flags,
+            payload=payload,
+        )
+        self.counters.incr("signals_sent")
+        return self.node.mac.send(pkt)
+
+    # ------------------------------------------------------------- receive
+    def on_message(self, channel: int, fn: MessageFn) -> None:
+        if channel in self._message_handlers:
+            raise ValueError(f"message channel {channel} already claimed")
+        self._message_handlers[channel] = fn
+
+    def on_signal(self, channel: int, fn: SignalFn) -> None:
+        if channel in self._signal_handlers:
+            raise ValueError(f"signal channel {channel} already claimed")
+        self._signal_handlers[channel] = fn
+
+    def _on_dma(self, pkt: MicroPacket, frame) -> None:
+        assert pkt.dma is not None
+        key = (pkt.src, pkt.dma.transfer_id)
+        if key in self._completed:
+            self.counters.incr("duplicate_fragments")
+            return
+        state = self._reassembly.get(key)
+        if state is None:
+            state = self._reassembly[key] = _Reassembly()
+        result = state.add(pkt.dma.offset, pkt.payload, pkt.dma.last, pkt.channel)
+        self.counters.incr("fragments_received")
+        if result is None:
+            return
+        del self._reassembly[key]
+        self._completed[key] = None
+        if len(self._completed) > _COMPLETED_CACHE:
+            self._completed.popitem(last=False)
+        self.counters.incr("messages_received")
+        handler = self._message_handlers.get(state.channel)
+        if handler is not None:
+            handler(pkt.src, result, state.channel)
+
+    def _on_interrupt(self, pkt: MicroPacket, frame) -> None:
+        self.counters.incr("signals_received")
+        handler = self._signal_handlers.get(pkt.channel)
+        if handler is not None:
+            handler(pkt.src, pkt.payload)
+
+    # -------------------------------------------------------- reliability
+    def _on_tour_complete(self, frame) -> None:
+        tag = frame.meta.get("msg")
+        if tag is None:
+            return
+        tid, offset = tag
+        handle = self._outgoing.get(tid)
+        if handle is None:
+            return
+        handle.unconfirmed.pop(offset, None)
+        if handle.complete:
+            del self._outgoing[tid]
+            self.counters.incr("messages_confirmed")
+            if not handle.delivered.triggered:
+                handle.delivered.succeed(handle)
+
+    def _on_tour_lost(self, frame) -> None:
+        tag = frame.meta.get("msg")
+        if tag is None:
+            return
+        self.counters.incr("fragments_lost")
+        # Leave the fragment in handle.unconfirmed; the ring-up hook
+        # replays everything unconfirmed.
+
+    def _on_ring_up(self, roster) -> None:
+        for handle in list(self._outgoing.values()):
+            if not handle.unconfirmed:
+                continue
+            pending = dict(handle.unconfirmed)
+            handle.retransmits += len(pending)
+            self.counters.incr("fragments_retransmitted", len(pending))
+            self.sim.process(
+                self._restream(handle, pending), name=f"{self.name}.rtx"
+            )
+
+    def _restream(self, handle: MessageHandle, pending: Dict[int, MicroPacket]):
+        grant = self.dma_channels.acquire()
+        yield grant
+        try:
+            for offset in sorted(pending):
+                if offset not in handle.unconfirmed:
+                    continue  # confirmed in the meantime
+                frame = self.node.mac.send(pending[offset])
+                frame.meta["msg"] = (handle.transfer_id, offset)
+        finally:
+            self.dma_channels.release()

@@ -1,0 +1,17 @@
+"""Synthetic workloads: message streams, file streams, broadcast storms."""
+
+from .generators import (
+    AllToAllBroadcast,
+    FileStream,
+    MessageStream,
+    StreamStats,
+    run_slide7_mixed_workload,
+)
+
+__all__ = [
+    "AllToAllBroadcast",
+    "FileStream",
+    "MessageStream",
+    "StreamStats",
+    "run_slide7_mixed_workload",
+]

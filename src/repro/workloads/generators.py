@@ -1,0 +1,230 @@
+"""Workload generators for the experiments.
+
+Slide 7 motivates AmpNet with nodes concurrently inserting *multiple*
+data streams — applications sending files next to applications sending
+messages.  These generators drive exactly those traffic classes through
+the public MAC/transport APIs and account for what was offered,
+delivered and dropped, which is all the benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..micropacket import BROADCAST, MicroPacket, MicroPacketType
+from ..sim import Counter, LatencyStat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = [
+    "StreamStats",
+    "MessageStream",
+    "FileStream",
+    "AllToAllBroadcast",
+    "run_slide7_mixed_workload",
+]
+
+
+@dataclass
+class StreamStats:
+    """Per-stream accounting shared by all generators."""
+
+    name: str
+    offered: int = 0
+    delivered: int = 0
+    bytes_delivered: int = 0
+    latency: LatencyStat = field(default_factory=LatencyStat)
+
+    def goodput_bits_per_ns(self, span_ns: int) -> float:
+        return 8 * self.bytes_delivered / span_ns if span_ns else 0.0
+
+
+class MessageStream:
+    """Fixed-cell DATA messages from one node at a constant rate."""
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        src: int,
+        dst: int,
+        interval_ns: int,
+        count: int,
+        channel: int = 0,
+        name: Optional[str] = None,
+    ):
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+        self.interval_ns = interval_ns
+        self.count = count
+        self.channel = channel
+        self.stats = StreamStats(name or f"msg-{src}->{dst}")
+        self._pending: Dict[int, int] = {}
+        self._install_rx()
+        cluster.sim.process(self._tx(), name=self.stats.name)
+
+    def _install_rx(self) -> None:
+        if self.dst == BROADCAST:
+            targets = [n for i, n in self.cluster.nodes.items() if i != self.src]
+        else:
+            targets = [self.cluster.nodes[self.dst]]
+        for node in targets:
+            node.register_default(self._rx)
+
+    def _rx(self, pkt: MicroPacket, frame) -> None:
+        if pkt.ptype != MicroPacketType.DATA or pkt.src != self.src:
+            return
+        if pkt.channel != self.channel:
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += len(pkt.payload)
+        if frame.inserted_at is not None:
+            self.stats.latency.add(self.cluster.sim.now - frame.inserted_at)
+
+    def _tx(self):
+        sim = self.cluster.sim
+        node = self.cluster.nodes[self.src]
+        for seq in range(self.count):
+            pkt = MicroPacket(
+                ptype=MicroPacketType.DATA,
+                src=self.src,
+                dst=self.dst,
+                channel=self.channel,
+                payload=seq.to_bytes(8, "little"),
+            ).with_seq(seq)
+            node.send(pkt)
+            self.stats.offered += 1
+            if self.interval_ns:
+                yield sim.timeout(self.interval_ns)
+            else:
+                yield sim.timeout(0)
+
+
+class FileStream:
+    """Bulk transfer: repeated reliable messages of file-sized chunks."""
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        src: int,
+        dst: int,
+        chunk_bytes: int,
+        count: int,
+        interval_ns: int = 0,
+        channel: int = 11,
+        name: Optional[str] = None,
+    ):
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+        self.chunk_bytes = chunk_bytes
+        self.count = count
+        self.interval_ns = interval_ns
+        self.channel = channel
+        self.stats = StreamStats(name or f"file-{src}->{dst}")
+        self._sent_at: Dict[bytes, int] = {}
+        cluster.nodes[dst].messenger.on_message(channel, self._rx)
+        cluster.sim.process(self._tx(), name=self.stats.name)
+
+    def _rx(self, src: int, payload: bytes, channel: int) -> None:
+        if src != self.src:
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += len(payload)
+        start = self._sent_at.pop(payload[:8], None)
+        if start is not None:
+            self.stats.latency.add(self.cluster.sim.now - start)
+
+    def _tx(self):
+        sim = self.cluster.sim
+        messenger = self.cluster.nodes[self.src].messenger
+        for seq in range(self.count):
+            header = seq.to_bytes(8, "little")
+            body = header + bytes((seq + i) % 256 for i in range(self.chunk_bytes - 8))
+            self._sent_at[header] = sim.now
+            handle = messenger.send(self.dst, body, self.channel)
+            self.stats.offered += 1
+            yield handle.delivered
+            if self.interval_ns:
+                yield sim.timeout(self.interval_ns)
+
+
+class AllToAllBroadcast:
+    """Every node broadcasts ``count`` cells as fast as flow control
+    allows — the slide-8 stress case."""
+
+    def __init__(self, cluster: "AmpNetCluster", count_per_node: int,
+                 channel: int = 3):
+        self.cluster = cluster
+        self.count = count_per_node
+        self.channel = channel
+        self.stats: Dict[int, StreamStats] = {}
+        self.received: Counter = Counter()
+        for node_id, node in cluster.nodes.items():
+            self.stats[node_id] = StreamStats(f"bcast-{node_id}")
+            node.register_default(self._make_rx(node_id))
+        for node_id in cluster.nodes:
+            cluster.sim.process(self._tx(node_id), name=f"a2a-{node_id}")
+
+    def _make_rx(self, me: int):
+        def rx(pkt: MicroPacket, frame) -> None:
+            if pkt.ptype != MicroPacketType.DATA or pkt.channel != self.channel:
+                return
+            self.received.incr(f"{pkt.src}->{me}")
+            stats = self.stats[pkt.src]
+            stats.delivered += 1
+            stats.bytes_delivered += len(pkt.payload)
+            if frame.inserted_at is not None:
+                stats.latency.add(self.cluster.sim.now - frame.inserted_at)
+
+        return rx
+
+    def _tx(self, node_id: int):
+        sim = self.cluster.sim
+        node = self.cluster.nodes[node_id]
+        for seq in range(self.count):
+            pkt = MicroPacket(
+                ptype=MicroPacketType.DATA,
+                src=node_id,
+                dst=BROADCAST,
+                channel=self.channel,
+                payload=seq.to_bytes(8, "little"),
+            ).with_seq(seq)
+            node.send(pkt)
+            self.stats[node_id].offered += 1
+            yield sim.timeout(0)
+
+    # ------------------------------------------------------------- queries
+    def total_drops(self) -> int:
+        return sum(
+            node.mac.counters["transit_overflow_drop"]
+            for node in self.cluster.nodes.values()
+        )
+
+    def expected_deliveries(self) -> int:
+        n = len(self.cluster.nodes)
+        return self.count * n * (n - 1)
+
+    def total_delivered(self) -> int:
+        return sum(s.delivered for s in self.stats.values())
+
+    def complete(self) -> bool:
+        return self.total_delivered() >= self.expected_deliveries()
+
+
+def run_slide7_mixed_workload(cluster: "AmpNetCluster", duration_tours: int = 400):
+    """The slide-7 scenario: files and messages inserted concurrently.
+
+    Node 0 and node 3 send files; node 1 and node 2 send messages, all
+    at once.  Returns the four streams' stats.
+    """
+    streams = [
+        FileStream(cluster, 0, 2, chunk_bytes=2048, count=8, channel=11),
+        MessageStream(cluster, 1, 3, interval_ns=5_000, count=200, channel=0),
+        MessageStream(cluster, 2, 0, interval_ns=5_000, count=200, channel=1),
+        FileStream(cluster, 3, 1, chunk_bytes=2048, count=8, channel=12),
+    ]
+    cluster.run(until=cluster.sim.now + duration_tours * cluster.tour_estimate_ns)
+    return [s.stats for s in streams]

@@ -1,0 +1,114 @@
+"""Integration: the slide-15 router joining two redundant segments."""
+
+import pytest
+
+from repro import AmpNetCluster, ClusterConfig
+from repro.services import InterSegmentRouter
+from repro.sim import Simulator
+
+
+def routed_network():
+    """A dual-redundant and a quad-redundant segment joined by a router,
+    exactly the slide-15 picture."""
+    sim = Simulator(seed=1)
+    dual = AmpNetCluster(config=ClusterConfig(n_nodes=4, n_switches=2), sim=sim)
+    quad = AmpNetCluster(config=ClusterConfig(n_nodes=6, n_switches=4), sim=sim)
+    dual.start()
+    quad.start()
+    dual.run_until_ring_up()
+    quad.run_until_ring_up()
+    router = InterSegmentRouter({0: (dual, 3), 1: (quad, 0)})
+    return sim, dual, quad, router
+
+
+def settle(cluster, tours=80):
+    cluster.run(until=cluster.sim.now + tours * cluster.tour_estimate_ns)
+
+
+def test_two_segments_run_independent_rings():
+    _sim, dual, quad, _router = routed_network()
+    assert dual.current_roster().size == 4
+    assert quad.current_roster().size == 6
+    # Independent rostering domains: their rounds need not agree.
+    assert dual.current_roster() is not quad.current_roster()
+
+
+def test_local_segment_traffic_stays_local():
+    _sim, dual, quad, router = routed_network()
+    got = []
+    router.endpoint(0, 2).on_receive = lambda src, data: got.append((src, data))
+    router.endpoint(0, 0).send((0, 2), b"intra-segment")
+    settle(dual)
+    assert got == [((0, 0), b"intra-segment")]
+    assert router.counters["crossed"] == 0
+
+
+def test_cross_segment_delivery():
+    _sim, dual, quad, router = routed_network()
+    got = []
+    router.endpoint(1, 5).on_receive = lambda src, data: got.append((src, data))
+    router.endpoint(0, 1).send((1, 5), b"across the router")
+    settle(quad, tours=200)
+    assert got == [((0, 1), b"across the router")]
+    assert router.counters["crossed"] == 1
+
+
+def test_cross_segment_reply_path():
+    _sim, dual, quad, router = routed_network()
+    transcript = []
+
+    ep_a = router.endpoint(0, 0)
+    ep_b = router.endpoint(1, 4)
+
+    def serve(src, data):
+        transcript.append(("request", src, data))
+        ep_b.send(src, b"pong")
+
+    ep_b.on_receive = serve
+    ep_a.on_receive = lambda src, data: transcript.append(("reply", src, data))
+    ep_a.send((1, 4), b"ping")
+    settle(quad, tours=400)
+    assert transcript == [
+        ("request", (0, 0), b"ping"),
+        ("reply", (1, 4), b"pong"),
+    ]
+
+
+def test_gateway_addressable_both_ways():
+    _sim, dual, quad, router = routed_network()
+    got = []
+    router.endpoint(1, 0).on_receive = lambda src, data: got.append(data)
+    router.endpoint(0, 3).send((1, 0), b"gw to gw")  # gateway -> gateway
+    settle(quad, tours=200)
+    assert got == [b"gw to gw"]
+
+
+def test_cross_segment_survives_ring_failure_in_transit_segment():
+    sim, dual, quad, router = routed_network()
+    got = []
+    router.endpoint(1, 3).on_receive = lambda src, data: got.append(data)
+    # Break the quad segment's ring just before sending.
+    roster = quad.current_roster()
+    quad.cut_link(2, roster.hop_switch_from(2))
+    router.endpoint(0, 2).send((1, 3), b"through the storm")
+    quad.run_until_reroster()
+    settle(quad, tours=400)
+    assert got == [b"through the storm"]
+
+
+def test_router_validation():
+    sim = Simulator()
+    c = AmpNetCluster(config=ClusterConfig(n_nodes=2, n_switches=1), sim=sim)
+    with pytest.raises(ValueError):
+        InterSegmentRouter({0: (c, 0)})
+    other = AmpNetCluster(config=ClusterConfig(n_nodes=2, n_switches=1))
+    with pytest.raises(ValueError):
+        InterSegmentRouter({0: (c, 0), 1: (other, 0)})  # different sims
+
+
+def test_endpoint_validation():
+    _sim, dual, _quad, router = routed_network()
+    with pytest.raises(ValueError):
+        router.endpoint(9, 0)
+    with pytest.raises(ValueError):
+        router.endpoint(0, 99)

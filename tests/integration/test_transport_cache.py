@@ -1,0 +1,277 @@
+"""Integration: reliable messaging, cache replication, seqlock, refresh,
+network semaphores — the slide 9/10/18 machinery end to end."""
+
+import pytest
+
+from repro import AmpNetCluster, ClusterConfig
+from repro.cache import RegionSpec
+from repro.micropacket import BROADCAST
+from repro.transport import Channel
+
+TEST_CHANNEL = 10  # unclaimed by any built-in service
+
+
+REGIONS = [RegionSpec(region_id=1, name="state", n_records=32, record_size=64)]
+
+
+def make_cluster(n_nodes=4, n_switches=2, **kw):
+    cfg = ClusterConfig(
+        n_nodes=n_nodes, n_switches=n_switches, regions=list(REGIONS), **kw
+    )
+    cluster = AmpNetCluster(config=cfg)
+    cluster.start()
+    cluster.run_until_ring_up()
+    return cluster
+
+
+def settle(cluster, tours=20):
+    cluster.run(until=cluster.sim.now + tours * cluster.tour_estimate_ns)
+
+
+# ------------------------------------------------------------- messaging
+def test_unicast_message_delivery():
+    cluster = make_cluster()
+    got = []
+    cluster.nodes[2].messenger.on_message(
+        TEST_CHANNEL, lambda src, data, ch: got.append((src, data))
+    )
+    payload = bytes(range(200))
+    handle = cluster.nodes[0].messenger.send(2, payload, TEST_CHANNEL)
+    settle(cluster)
+    assert got == [(0, payload)]
+    assert handle.delivered.triggered
+
+
+def test_broadcast_message_reaches_all_other_nodes():
+    cluster = make_cluster()
+    got = {i: [] for i in cluster.nodes}
+    for i, node in cluster.nodes.items():
+        node.messenger.on_message(
+            TEST_CHANNEL, lambda src, data, ch, i=i: got[i].append(data)
+        )
+    cluster.nodes[1].messenger.send(BROADCAST, b"hello world", TEST_CHANNEL)
+    settle(cluster)
+    for i in cluster.nodes:
+        assert len(got[i]) == (0 if i == 1 else 1)
+
+
+def test_large_message_fragments_and_reassembles():
+    cluster = make_cluster()
+    got = []
+    cluster.nodes[3].messenger.on_message(
+        TEST_CHANNEL, lambda src, data, ch: got.append(data)
+    )
+    payload = bytes(i % 251 for i in range(5000))  # 79 fragments
+    cluster.nodes[0].messenger.send(3, payload, TEST_CHANNEL)
+    settle(cluster, tours=60)
+    assert got and got[0] == payload
+
+
+def test_signal_delivery():
+    cluster = make_cluster()
+    got = []
+    cluster.nodes[1].messenger.on_signal(
+        TEST_CHANNEL, lambda src, payload: got.append((src, payload))
+    )
+    cluster.nodes[3].messenger.signal(1, b"DOORBELL", TEST_CHANNEL)
+    settle(cluster)
+    assert got == [(3, b"DOORBELL")]
+
+
+def test_message_survives_ring_failure_midflight():
+    """The no-data-loss mechanism: unconfirmed fragments replay after
+    the roster heals."""
+    cluster = make_cluster(n_nodes=6, n_switches=4)
+    got = []
+    cluster.nodes[5].messenger.on_message(
+        TEST_CHANNEL, lambda src, data, ch: got.append(data)
+    )
+    payload = bytes(i % 256 for i in range(8000))
+    handle = cluster.nodes[0].messenger.send(5, payload, TEST_CHANNEL)
+    # Cut node 0's active hop while fragments are streaming.
+    roster = cluster.current_roster()
+    cluster.run(until=cluster.sim.now + cluster.tour_estimate_ns // 2)
+    cluster.cut_link(0, roster.hop_switch_from(0))
+    cluster.run_until_reroster()
+    settle(cluster, tours=120)
+    assert got and got[0] == payload
+    assert handle.delivered.triggered
+    sender = cluster.nodes[0].messenger
+    assert sender.counters["fragments_retransmitted"] >= 0  # replay path exists
+
+
+# ------------------------------------------------------------ cache basics
+def test_cache_write_replicates_everywhere():
+    cluster = make_cluster()
+    cluster.nodes[0].cache.write("state", 3, b"the truth")
+    settle(cluster)
+    for node in cluster.nodes.values():
+        ok, data, _v = node.cache.try_read("state", 3)
+        assert ok and data[:9] == b"the truth"
+
+
+def test_cache_last_writer_wins_convergence():
+    cluster = make_cluster()
+    cluster.nodes[0].cache.write("state", 0, b"from-zero")
+    settle(cluster, tours=30)
+    cluster.nodes[2].cache.write("state", 0, b"from-two!")
+    settle(cluster, tours=30)
+    values = set()
+    for node in cluster.nodes.values():
+        ok, data, _ = node.cache.try_read("state", 0)
+        assert ok
+        values.add(bytes(data[:9]))
+    assert values == {b"from-two!"}
+
+
+def test_concurrent_writes_converge_to_single_value():
+    cluster = make_cluster()
+    for i in range(4):
+        cluster.nodes[i].cache.write("state", 7, f"writer-{i}".encode())
+    settle(cluster, tours=60)
+    finals = {
+        bytes(node.cache.try_read("state", 7)[1]) for node in cluster.nodes.values()
+    }
+    assert len(finals) == 1  # everyone agrees, whoever won
+
+
+def test_seqlock_read_process_returns_stable_data():
+    cluster = make_cluster()
+    result = {}
+
+    def reader():
+        data = yield from cluster.nodes[1].cache.read("state", 5)
+        result["data"] = data
+
+    cluster.nodes[0].cache.write("state", 5, b"stable")
+    settle(cluster)
+    cluster.sim.process(reader())
+    settle(cluster, tours=2)
+    assert result["data"][:6] == b"stable"
+
+
+def test_dynamic_region_creation_replicates():
+    cluster = make_cluster()
+    spec = RegionSpec(region_id=9, name="dyn", n_records=4, record_size=16)
+    cluster.nodes[2].cache.define_region(spec)
+    cluster.nodes[2].cache.write("dyn", 1, b"dynamic!")
+    settle(cluster, tours=40)
+    for node in cluster.nodes.values():
+        assert node.cache.has_region("dyn")
+        ok, data, _ = node.cache.try_read("dyn", 1)
+        assert ok and data[:8] == b"dynamic!"
+
+
+# --------------------------------------------------------------- refresh
+def test_rejoining_node_refreshes_cache():
+    cluster = make_cluster(n_nodes=6, n_switches=4)
+    cluster.nodes[0].cache.write("state", 10, b"precious data")
+    settle(cluster)
+    cluster.crash_node(3)
+    cluster.run_until_reroster()
+    # Write more while node 3 is dead.
+    cluster.nodes[1].cache.write("state", 11, b"written while dead")
+    settle(cluster)
+    assert cluster.nodes[3].cache.version_of("state", 10) == (0, 0)  # wiped
+    cluster.recover_node(3)
+    cluster.run_until_reroster()
+    settle(cluster, tours=100)
+    assert cluster.nodes[3].refresh.warm
+    ok, data, _ = cluster.nodes[3].cache.try_read("state", 10)
+    assert ok and data[:13] == b"precious data"
+    ok, data, _ = cluster.nodes[3].cache.try_read("state", 11)
+    assert ok and data[:18] == b"written while dead"
+
+
+# -------------------------------------------------------------- semaphores
+def test_semaphore_mutual_exclusion():
+    cluster = make_cluster()
+    sim = cluster.sim
+    holder_log = []
+
+    def worker(node_id):
+        svc = cluster.nodes[node_id].sems
+        ok = yield from svc.acquire(5)
+        assert ok
+        holder_log.append(("acq", node_id, sim.now))
+        yield sim.timeout(50_000)
+        holder_log.append(("rel", node_id, sim.now))
+        svc.release(5)
+
+    for nid in range(4):
+        sim.process(worker(nid))
+    settle(cluster, tours=200)
+    # All four eventually held it, and critical sections never overlap.
+    acquires = [e for e in holder_log if e[0] == "acq"]
+    assert len(acquires) == 4
+    events = sorted(holder_log, key=lambda e: (e[2], e[0] == "acq"))
+    depth = 0
+    for kind, _nid, _t in events:
+        depth += 1 if kind == "acq" else -1
+        assert 0 <= depth <= 1
+
+
+def test_semaphore_release_grants_next_waiter_fifo():
+    cluster = make_cluster()
+    sim = cluster.sim
+    order = []
+
+    def worker(node_id, start_delay):
+        yield sim.timeout(start_delay)
+        svc = cluster.nodes[node_id].sems
+        ok = yield from svc.acquire(9)
+        assert ok
+        order.append(node_id)
+        yield sim.timeout(20_000)
+        svc.release(9)
+
+    sim.process(worker(1, 0))
+    sim.process(worker(2, 2_000))
+    sim.process(worker(3, 4_000))
+    settle(cluster, tours=200)
+    assert order == [1, 2, 3]
+
+
+def test_semaphore_acquire_timeout():
+    cluster = make_cluster()
+    sim = cluster.sim
+    outcome = {}
+
+    def holder():
+        ok = yield from cluster.nodes[0].sems.acquire(2)
+        assert ok  # never released
+
+    def contender():
+        yield sim.timeout(10_000)
+        ok = yield from cluster.nodes[1].sems.acquire(2, timeout_ns=200_000)
+        outcome["got"] = ok
+
+    sim.process(holder())
+    sim.process(contender())
+    settle(cluster, tours=100)
+    assert outcome["got"] is False
+
+
+def test_lock_held_by_crashed_node_is_broken():
+    cluster = make_cluster(n_nodes=6, n_switches=4)
+    sim = cluster.sim
+    got = {}
+
+    def holder():
+        ok = yield from cluster.nodes[3].sems.acquire(1)
+        got["holder"] = ok
+
+    sim.process(holder())
+    settle(cluster, tours=50)
+    assert got.get("holder")
+    cluster.crash_node(3)
+    cluster.run_until_reroster()
+    settle(cluster, tours=50)
+
+    def contender():
+        ok = yield from cluster.nodes[1].sems.acquire(1, timeout_ns=50_000_000)
+        got["contender"] = ok
+
+    sim.process(contender())
+    settle(cluster, tours=200)
+    assert got.get("contender") is True

@@ -1,0 +1,239 @@
+"""Unit tests for the local network-cache replica (seqlock semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheError,
+    NetworkCache,
+    RecordUpdate,
+    RegionSpec,
+    decode_update,
+    encode_update,
+)
+from repro.sim import Simulator
+
+
+def cache_with_region(n_records=8, record_size=32):
+    sim = Simulator()
+    cache = NetworkCache(sim, node_id=1)
+    cache.define_region(RegionSpec(1, "r", n_records, record_size),
+                        announce=False)
+    return sim, cache
+
+
+# ------------------------------------------------------------------ regions
+def test_region_spec_validation():
+    with pytest.raises(CacheError):
+        RegionSpec(256, "x", 1, 1)
+    with pytest.raises(CacheError):
+        RegionSpec(0, "x", 0, 1)
+    with pytest.raises(CacheError):
+        RegionSpec(0, "x", 1, 1 << 16)
+
+
+def test_region_redefinition_same_shape_is_idempotent():
+    _sim, cache = cache_with_region()
+    cache.define_region(RegionSpec(1, "r", 8, 32), announce=False)
+    assert cache.region("r").n_records == 8
+
+
+def test_region_redefinition_different_shape_rejected():
+    _sim, cache = cache_with_region()
+    with pytest.raises(CacheError):
+        cache.define_region(RegionSpec(1, "r", 9, 32), announce=False)
+
+
+def test_region_name_collision_rejected():
+    _sim, cache = cache_with_region()
+    with pytest.raises(CacheError):
+        cache.define_region(RegionSpec(2, "r", 1, 8), announce=False)
+
+
+def test_unknown_region_access():
+    _sim, cache = cache_with_region()
+    with pytest.raises(CacheError):
+        cache.read_naive("ghost", 0)
+    with pytest.raises(CacheError):
+        cache.write("ghost", 0, b"x")
+
+
+def test_record_index_bounds():
+    _sim, cache = cache_with_region(n_records=2)
+    with pytest.raises(CacheError):
+        cache.write("r", 2, b"x")
+
+
+def test_size_bytes_accounting():
+    _sim, cache = cache_with_region(n_records=8, record_size=32)
+    assert cache.size_bytes == 256
+
+
+# ------------------------------------------------------------- write / read
+def test_write_then_try_read_roundtrip():
+    _sim, cache = cache_with_region()
+    cache.write("r", 0, b"hello")
+    ok, data, version = cache.try_read("r", 0)
+    assert ok and data[:5] == b"hello" and version == 1
+
+
+def test_write_pads_record():
+    _sim, cache = cache_with_region(record_size=8)
+    cache.write("r", 0, b"ab")
+    assert cache.read_naive("r", 0) == b"ab" + b"\x00" * 6
+
+
+def test_write_oversized_rejected():
+    _sim, cache = cache_with_region(record_size=4)
+    with pytest.raises(CacheError):
+        cache.write("r", 0, b"toolong")
+
+
+def test_versions_monotonic_per_record():
+    _sim, cache = cache_with_region()
+    for _ in range(5):
+        cache.write("r", 3, b"v")
+    assert cache.version_of("r", 3) == (5, 1)
+
+
+def test_local_write_hook_invoked():
+    _sim, cache = cache_with_region()
+    seen = []
+    cache.on_local_write = seen.append
+    update = cache.write("r", 1, b"payload")
+    assert seen == [update]
+    assert update.version == 1 and update.writer == 1
+
+
+# ------------------------------------------------------------------- apply
+def test_apply_stale_update_skipped():
+    sim, cache = cache_with_region()
+    cache.write("r", 0, b"newer")  # version 1 writer 1
+    stale = RecordUpdate(1, 0, 1, 0, b"older".ljust(32, b"\x00"))
+    # (1, 0) < (1, 1): stale by writer tie-break.
+    assert not cache.should_apply(stale)
+
+
+def test_apply_newer_update_wins():
+    sim, cache = cache_with_region()
+    cache.write("r", 0, b"mine")
+    incoming = RecordUpdate(1, 0, 2, 0, b"theirs".ljust(32, b"\x00"))
+    sim.process(cache.apply_update(incoming))
+    sim.run()
+    ok, data, version = cache.try_read("r", 0)
+    assert ok and data[:6] == b"theirs" and version == 2
+
+
+def test_gradual_apply_has_torn_window():
+    sim, cache = cache_with_region(record_size=64)
+    incoming = RecordUpdate(1, 0, 1, 0, b"\xaa" * 64)
+    observed = []
+
+    def observer():
+        sim.process(cache.apply_update(incoming))
+        yield sim.timeout(cache.APPLY_STEP_NS)  # mid-apply
+        ok, _d, _v = cache.try_read("r", 0)
+        observed.append(("seqlock_ok", ok))
+        observed.append(("naive", cache.read_naive("r", 0)))
+
+    sim.process(observer())
+    sim.run()
+    assert ("seqlock_ok", False) in observed  # counters disagree mid-apply
+    naive = dict(observed)["naive"]
+    assert set(naive) == {0xAA, 0x00}  # genuinely torn bytes
+
+
+def test_local_write_mid_apply_is_not_corrupted():
+    sim, cache = cache_with_region(record_size=64)
+    incoming = RecordUpdate(1, 0, 1, 0, b"\xbb" * 64)
+
+    def interceptor():
+        sim.process(cache.apply_update(incoming))
+        yield sim.timeout(cache.APPLY_STEP_NS)
+        cache.write("r", 0, b"\xcc" * 64)  # local write overtakes
+
+    sim.process(interceptor())
+    sim.run()
+    ok, data, version = cache.try_read("r", 0)
+    assert ok
+    assert data == b"\xcc" * 64  # apply aborted, no \xbb residue
+    assert version == 2
+
+
+def test_seqlock_read_process_retries_until_stable():
+    sim, cache = cache_with_region(record_size=64)
+    incoming = RecordUpdate(1, 0, 1, 0, b"\xdd" * 64)
+    result = {}
+
+    def reader():
+        data = yield from cache.read("r", 0)
+        result["data"] = data
+
+    sim.process(cache.apply_update(incoming))
+    sim.process(reader())
+    sim.run()
+    assert result["data"] == b"\xdd" * 64
+    assert cache.counters["read_retries"] >= 1
+
+
+# ----------------------------------------------------------------- updates
+@given(
+    region=st.integers(0, 255), idx=st.integers(0, 65535),
+    version=st.integers(0, 2**32 - 1), writer=st.integers(0, 255),
+    data=st.binary(min_size=0, max_size=64),
+)
+@settings(max_examples=150)
+def test_update_encode_decode_roundtrip(region, idx, version, writer, data):
+    update = RecordUpdate(region, idx, version, writer, data)
+    decoded, rest = decode_update(encode_update(update))
+    assert decoded == update and rest == b""
+
+
+def test_decode_update_truncation():
+    with pytest.raises(CacheError):
+        decode_update(b"\x01\x02")
+    update = RecordUpdate(1, 0, 1, 0, b"abcdef")
+    with pytest.raises(CacheError):
+        decode_update(encode_update(update)[:-2])
+
+
+# ----------------------------------------------------------------- snapshot
+def test_snapshot_roundtrip_restores_all_state():
+    sim, cache = cache_with_region()
+    cache.define_region(RegionSpec(2, "other", 4, 16), announce=False)
+    cache.write("r", 0, b"alpha")
+    cache.write("r", 7, b"omega")
+    cache.write("other", 2, b"beta")
+
+    sim2 = Simulator()
+    fresh = NetworkCache(sim2, node_id=9)
+    applied = fresh.apply_snapshot(cache.snapshot())
+    assert applied == 3
+    assert fresh.try_read("r", 0)[1][:5] == b"alpha"
+    assert fresh.try_read("other", 2)[1][:4] == b"beta"
+    assert fresh.region("r").record_size == 32
+
+
+def test_snapshot_skips_unwritten_records():
+    _sim, cache = cache_with_region(n_records=100)
+    cache.write("r", 50, b"only one")
+    snap = cache.snapshot()
+    sim2 = Simulator()
+    fresh = NetworkCache(sim2, node_id=2)
+    assert fresh.apply_snapshot(snap) == 1
+
+
+def test_snapshot_apply_respects_newer_local_versions():
+    sim, cache = cache_with_region()
+    cache.write("r", 0, b"old snapshot value")
+    snap = cache.snapshot()
+    cache.write("r", 0, b"newer than snapshot")
+    assert cache.apply_snapshot(snap) == 0  # nothing regressed
+    assert cache.try_read("r", 0)[1][:5] == b"newer"
+
+
+def test_apply_snapshot_truncation_rejected():
+    _sim, cache = cache_with_region()
+    with pytest.raises(CacheError):
+        cache.apply_snapshot(b"\x01")

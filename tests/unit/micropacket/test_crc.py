@@ -1,0 +1,63 @@
+"""CRC implementations checked against published test vectors."""
+
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.micropacket import crc16_ccitt, crc32
+
+
+def test_crc32_check_value():
+    # The canonical CRC-32/ISO-HDLC check value.
+    assert crc32(b"123456789") == 0xCBF43926
+
+
+def test_crc32_empty():
+    assert crc32(b"") == 0
+
+
+def test_crc16_ccitt_check_value():
+    # CRC-16/CCITT-FALSE check value.
+    assert crc16_ccitt(b"123456789") == 0x29B1
+
+
+def test_crc16_empty_is_init():
+    assert crc16_ccitt(b"") == 0xFFFF
+
+
+@given(st.binary(max_size=256))
+def test_crc32_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 7), st.integers(0, 255))
+def test_crc32_detects_any_single_byte_change(data, pos_mod, newval):
+    pos = pos_mod % len(data)
+    if data[pos] == newval:
+        return
+    mutated = data[:pos] + bytes([newval]) + data[pos + 1:]
+    assert crc32(mutated) != crc32(data)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 7), st.integers(0, 255))
+def test_crc16_detects_any_single_byte_change(data, pos_mod, newval):
+    pos = pos_mod % len(data)
+    if data[pos] == newval:
+        return
+    mutated = data[:pos] + bytes([newval]) + data[pos + 1:]
+    assert crc16_ccitt(mutated) != crc16_ccitt(data)
+
+
+@given(st.binary(max_size=32), st.binary(max_size=32))
+def test_crc32_incremental_matches_oneshot(a, b):
+    assert crc32(a + b) == crc32(b, crc=crc32(a))
+
+
+def test_crc32_incremental_three_chunks():
+    data = b"the quick brown fox jumps over the lazy dog"
+    acc = 0
+    for i in range(0, len(data), 7):
+        acc = crc32(data[i:i + 7], crc=acc)
+    assert acc == crc32(data)

@@ -1,0 +1,161 @@
+"""Unit tests for the insertion controller (slide 8 mechanics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ring import FlowControlConfig, InsertionController
+
+
+def controller(**kw):
+    return InsertionController(FlowControlConfig(**kw))
+
+
+# ------------------------------------------------------------------ config
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FlowControlConfig(transit_capacity=0)
+    with pytest.raises(ValueError):
+        FlowControlConfig(min_gap_ns=10, max_gap_ns=5)
+    with pytest.raises(ValueError):
+        FlowControlConfig(hi_watermark=0)
+
+
+# ------------------------------------------------------------------ window
+def test_window_reserves_priority_headroom():
+    c = controller(transit_capacity=64)
+    c.ring_installed(6)
+    # 64 // 6 - 1 = 9: ring_size * (window + 1) fits the buffer.
+    assert c.window == 9
+    assert 6 * (c.window + 1) <= 64
+
+
+def test_window_never_below_one():
+    c = controller(transit_capacity=8)
+    c.ring_installed(32)
+    assert c.window == 1
+
+
+def test_window_override():
+    c = controller(window_override=3)
+    c.ring_installed(4)
+    assert c.window == 3
+
+
+def test_ring_installed_validates_size():
+    with pytest.raises(ValueError):
+        controller().ring_installed(0)
+
+
+@given(st.integers(1, 128), st.integers(1, 64))
+def test_window_invariant_holds_for_any_geometry(capacity, ring_size):
+    c = controller(transit_capacity=capacity)
+    c.ring_installed(ring_size)
+    # The structural no-drop bound: total circulating frames (window
+    # data frames + 1 priority frame per member) fit the transit buffer,
+    # except in the degenerate window=1 floor.
+    if capacity // ring_size - 1 >= 1:
+        assert ring_size * (c.window + 1) <= capacity
+
+
+# --------------------------------------------------------------- decisions
+def test_outstanding_gates_insertion():
+    c = controller(transit_capacity=8)
+    c.ring_installed(4)  # window = 1
+    assert c.may_insert(0)
+    c.inserted(0)
+    assert not c.may_insert(10)
+    c.tour_completed()
+    assert c.may_insert(10)
+
+
+def test_pacing_gap_delays_next_insert():
+    c = controller(transit_capacity=64, min_gap_ns=500)
+    c.ring_installed(2)
+    c.inserted(1000)
+    assert not c.may_insert(1400)
+    assert c.may_insert(1500)
+    assert c.earliest_insert() == 1500
+
+
+def test_disabled_controller_always_allows():
+    c = controller(enabled=False)
+    c.ring_installed(4)
+    for _ in range(100):
+        c.inserted(0)
+    assert c.may_insert(0)
+    assert not c.window_full()
+
+
+def test_tour_lost_frees_window():
+    c = controller(transit_capacity=8)
+    c.ring_installed(4)
+    c.inserted(0)
+    assert c.window_full()
+    c.tour_lost()
+    assert not c.window_full()
+
+
+def test_outstanding_never_negative():
+    c = controller()
+    c.ring_installed(2)
+    c.tour_completed()
+    c.tour_lost()
+    assert c.outstanding == 0
+
+
+# -------------------------------------------------------------- adaptation
+def test_backoff_on_high_watermark():
+    c = controller(hi_watermark=2, relax_step_ns=100, max_gap_ns=1000)
+    c.ring_installed(2)
+    assert c.gap_ns == 0
+    c.observe_transit_depth(2)
+    first = c.gap_ns
+    assert first > 0
+    c.observe_transit_depth(3)
+    assert c.gap_ns > first
+    assert c.backoffs == 2
+
+
+def test_backoff_saturates_at_max():
+    c = controller(hi_watermark=1, relax_step_ns=400, max_gap_ns=800)
+    c.ring_installed(2)
+    for _ in range(10):
+        c.observe_transit_depth(5)
+    assert c.gap_ns == 800
+
+
+def test_relax_on_idle_ring():
+    c = controller(hi_watermark=1, relax_step_ns=100, max_gap_ns=1000)
+    c.ring_installed(2)
+    c.observe_transit_depth(3)
+    high = c.gap_ns
+    c.observe_transit_depth(0)
+    assert c.gap_ns == max(high - 100, 0)
+    assert c.relaxes == 1
+
+
+def test_relax_floors_at_min_gap():
+    c = controller(min_gap_ns=50, relax_step_ns=400, max_gap_ns=1000,
+                   hi_watermark=1)
+    c.ring_installed(2)
+    c.observe_transit_depth(5)
+    for _ in range(20):
+        c.observe_transit_depth(0)
+    assert c.gap_ns == 50
+
+
+def test_disabled_controller_never_adapts():
+    c = controller(enabled=False)
+    c.ring_installed(2)
+    c.observe_transit_depth(100)
+    assert c.gap_ns == 0 and c.backoffs == 0
+
+
+def test_reinstall_resets_gap():
+    c = controller(hi_watermark=1)
+    c.ring_installed(4)
+    c.observe_transit_depth(9)
+    assert c.gap_ns > 0
+    c.ring_installed(4)
+    assert c.gap_ns == 0

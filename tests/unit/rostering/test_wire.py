@@ -1,0 +1,138 @@
+"""Rostering cell encode/decode and flood-rule tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.micropacket import MicroPacket, MicroPacketType
+from repro.rostering import (
+    CommitAssembler,
+    Phase,
+    decode,
+    encode_commit_chunks,
+    encode_explore,
+    encode_join,
+    encode_report,
+    flood_key,
+)
+
+
+def test_explore_roundtrip():
+    msg = decode(encode_explore(origin=7, round_no=3, hops=2))
+    assert msg.phase == Phase.EXPLORE
+    assert (msg.origin, msg.round_no, msg.hops) == (7, 3, 2)
+
+
+def test_join_roundtrip():
+    msg = decode(encode_join(origin=9))
+    assert msg.phase == Phase.JOIN and msg.origin == 9
+
+
+def test_report_roundtrip():
+    pkt = encode_report(origin=4, round_no=9, port_bitmap=0b1010,
+                        qualification=77, version=(2, 5))
+    msg = decode(pkt)
+    assert msg.phase == Phase.REPORT
+    assert msg.port_bitmap == 0b1010
+    assert msg.qualification == 77
+    assert msg.version == (2, 5)
+
+
+def test_report_bitmap_validation():
+    with pytest.raises(ValueError):
+        encode_report(origin=0, round_no=0, port_bitmap=256)
+
+
+def test_rostering_cells_are_fixed_broadcast():
+    pkt = encode_explore(origin=1, round_no=1)
+    assert pkt.ptype == MicroPacketType.ROSTERING
+    assert pkt.is_fixed and pkt.is_broadcast
+    assert len(pkt.payload) == 8
+
+
+def test_decode_rejects_non_rostering():
+    pkt = MicroPacket(ptype=MicroPacketType.DATA, src=0, dst=1, payload=b"x")
+    with pytest.raises(ValueError):
+        decode(pkt)
+
+
+# ------------------------------------------------------------------ commits
+@given(st.lists(st.integers(0, 254), min_size=1, max_size=40, unique=True))
+def test_commit_chunking_roundtrip(members):
+    chunks = encode_commit_chunks(origin=0, round_no=5, members=members)
+    assert len(chunks) == -(-len(members) // 3)
+    asm = CommitAssembler()
+    result = None
+    for pkt in chunks:
+        result = asm.add(decode(pkt))
+    assert result == members
+
+
+def test_commit_reassembly_out_of_order():
+    members = list(range(10))
+    chunks = encode_commit_chunks(origin=2, round_no=1, members=members)
+    asm = CommitAssembler()
+    result = None
+    for pkt in reversed(chunks):
+        result = asm.add(decode(pkt))
+    assert result == members
+
+
+def test_commit_incomplete_returns_none():
+    chunks = encode_commit_chunks(origin=2, round_no=1, members=list(range(9)))
+    asm = CommitAssembler()
+    assert asm.add(decode(chunks[0])) is None
+    assert asm.add(decode(chunks[1])) is None
+
+
+def test_commit_empty_roster_rejected():
+    with pytest.raises(ValueError):
+        encode_commit_chunks(origin=0, round_no=0, members=[])
+
+
+def test_commit_bad_member_rejected():
+    with pytest.raises(ValueError):
+        encode_commit_chunks(origin=0, round_no=0, members=[255])
+
+
+def test_assembler_rejects_non_commit():
+    asm = CommitAssembler()
+    with pytest.raises(ValueError):
+        asm.add(decode(encode_explore(0, 1)))
+
+
+def test_assembler_keeps_rounds_separate():
+    asm = CommitAssembler()
+    a = encode_commit_chunks(origin=0, round_no=1, members=[1, 2, 3, 4])
+    b = encode_commit_chunks(origin=0, round_no=2, members=[5, 6, 7, 8])
+    assert asm.add(decode(a[0])) is None
+    assert asm.add(decode(b[0])) is None
+    assert asm.add(decode(b[1])) == [5, 6, 7, 8]
+    assert asm.add(decode(a[1])) == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------- flood key
+def test_flood_key_ignores_hops_for_explore():
+    a = encode_explore(origin=3, round_no=7, hops=0)
+    b = encode_explore(origin=3, round_no=7, hops=5)
+    assert flood_key(a.payload) == flood_key(b.payload)
+
+
+def test_flood_key_distinguishes_rounds_and_origins():
+    keys = {
+        flood_key(encode_explore(origin=o, round_no=r).payload)
+        for o in (1, 2) for r in (1, 2)
+    }
+    assert len(keys) == 4
+
+
+def test_flood_key_distinguishes_commit_chunks():
+    chunks = encode_commit_chunks(origin=0, round_no=1, members=list(range(9)))
+    keys = {flood_key(c.payload) for c in chunks}
+    assert len(keys) == 3
+
+
+def test_flood_key_distinguishes_phases():
+    e = encode_explore(origin=1, round_no=1)
+    r = encode_report(origin=1, round_no=1, port_bitmap=0xF)
+    assert flood_key(e.payload) != flood_key(r.payload)

@@ -1,0 +1,277 @@
+"""Unit tests for Store, PriorityStore, Resource and Gate."""
+
+import pytest
+
+from repro.sim import Gate, PriorityStore, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = {}
+
+    def consumer():
+        got["item"] = yield store.get()
+        got["t"] = sim.now
+
+    def producer():
+        yield sim.timeout(500)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == {"item": "late", "t": 500}
+
+
+def test_store_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("a-in", sim.now))
+        yield store.put("b")
+        log.append(("b-in", sim.now))
+
+    def consumer():
+        yield sim.timeout(100)
+        item = yield store.get()
+        log.append((item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # "b" cannot enter until "a" leaves at t=100.
+    assert ("a-in", 0) in log
+    assert ("b-in", 100) in log
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_try_put_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("x") is True
+    assert store.try_put("y") is False
+    ok, item = store.try_get()
+    assert (ok, item) == (True, "x")
+    ok, item = store.try_get()
+    assert ok is False
+
+
+def test_store_len_tracks_buffered_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.try_put(1)
+    store.try_put(2)
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------- PriorityStore
+def test_priority_store_orders_by_priority():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    got = []
+
+    def producer():
+        yield ps.put("bulk", priority=5)
+        yield ps.put("roster", priority=0)
+        yield ps.put("data", priority=2)
+
+    def consumer():
+        yield sim.timeout(1)
+        for _ in range(3):
+            got.append((yield ps.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == ["roster", "data", "bulk"]
+
+
+def test_priority_store_fifo_within_priority():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    got = []
+
+    def producer():
+        for tag in ("first", "second", "third"):
+            yield ps.put(tag, priority=1)
+
+    def consumer():
+        yield sim.timeout(1)
+        for _ in range(3):
+            got.append((yield ps.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == ["first", "second", "third"]
+
+
+def test_priority_store_capacity_blocks():
+    sim = Simulator()
+    ps = PriorityStore(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield ps.put("a")
+        times.append(sim.now)
+        yield ps.put("b")
+        times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(42)
+        yield ps.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [0, 42]
+
+
+# -------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(tag):
+        yield res.acquire()
+        active.append(tag)
+        peak.append(len(active))
+        yield sim.timeout(10)
+        active.remove(tag)
+        res.release()
+
+    for tag in range(4):
+        sim.process(worker(tag))
+    sim.run()
+    assert max(peak) == 2
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield res.acquire()
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release()
+
+    for tag in range(3):
+        sim.process(worker(tag))
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    res.acquire()
+    res.acquire()
+    assert res.available == 1
+    res.release()
+    assert res.available == 2
+
+
+# ------------------------------------------------------------------ Gate
+def test_gate_wait_open_immediate_when_open():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    done = {}
+
+    def proc():
+        yield gate.wait_open()
+        done["t"] = sim.now
+
+    sim.process(proc())
+    sim.run()
+    assert done["t"] == 0
+
+
+def test_gate_wait_blocks_until_opened():
+    sim = Simulator()
+    gate = Gate(sim)
+    done = {}
+
+    def waiter():
+        yield gate.wait_open()
+        done["t"] = sim.now
+
+    def opener():
+        yield sim.timeout(33)
+        gate.open()
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert done["t"] == 33
+
+
+def test_gate_reusable_after_close():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    hits = []
+
+    def cycle():
+        yield gate.wait_open()
+        hits.append(sim.now)
+        gate.close()
+
+        def reopen():
+            yield sim.timeout(10)
+            gate.open()
+
+        sim.process(reopen())
+        yield gate.wait_open()
+        hits.append(sim.now)
+
+    sim.process(cycle())
+    sim.run()
+    assert hits == [0, 10]
+
+
+def test_gate_open_idempotent():
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.open()
+    gate.open()  # no error
+    assert gate.is_open

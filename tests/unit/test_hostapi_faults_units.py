@@ -1,0 +1,88 @@
+"""Unit tests for host-API pieces and the fault injector data model."""
+
+import pytest
+
+from repro.baselines import FailoverReport
+from repro.faults import FaultAction, FaultKind, FaultSchedule
+from repro.hostapi import HostRegion, RegionError
+from repro.hostapi.mpi_like import _decode, _encode
+
+
+# --------------------------------------------------------------- HostRegion
+def test_host_region_read_write_roundtrip():
+    region = HostRegion("buf", 64)
+    region._apply(8, b"abcd")
+    assert region.read(8, 4) == b"abcd"
+    assert region.read() == b"\x00" * 8 + b"abcd" + b"\x00" * 52
+    assert region.writes == 1
+
+
+def test_host_region_bounds_checks():
+    region = HostRegion("buf", 16)
+    with pytest.raises(RegionError):
+        region.read(10, 10)
+    with pytest.raises(RegionError):
+        region._apply(14, b"xyz")
+    with pytest.raises(RegionError):
+        HostRegion("zero", 0)
+
+
+def test_host_region_write_listeners():
+    region = HostRegion("buf", 32)
+    hits = []
+    region.on_write.append(lambda off, n: hits.append((off, n)))
+    region._apply(0, b"abc")
+    assert hits == [(0, 3)]
+
+
+# ------------------------------------------------------------- MPI framing
+def test_mpi_encode_decode_roundtrip():
+    raw = _encode(3, 12345, -7, b"payload")
+    assert _decode(raw) == (3, 12345, -7, b"payload")
+
+
+def test_mpi_negative_tags_supported():
+    raw = _encode(0, 1, -(2**31), b"")
+    assert _decode(raw)[2] == -(2**31)
+
+
+# ------------------------------------------------------------ fault actions
+def test_fault_action_link_requires_switch():
+    with pytest.raises(ValueError):
+        FaultAction(0, FaultKind.CUT_LINK, target=1)
+    with pytest.raises(ValueError):
+        FaultAction(-5, FaultKind.CRASH_NODE, target=1)
+
+
+def test_fault_schedule_builder_chains():
+    sched = (
+        FaultSchedule()
+        .cut_link(10, 0, 1)
+        .fail_switch(20, 2)
+        .crash_node(30, 3)
+        .recover_node(40, 3)
+        .repair_switch(50, 2)
+        .restore_link(60, 0, 1)
+    )
+    kinds = [a.kind for a in sched.actions]
+    assert kinds == [
+        FaultKind.CUT_LINK, FaultKind.FAIL_SWITCH, FaultKind.CRASH_NODE,
+        FaultKind.RECOVER_NODE, FaultKind.REPAIR_SWITCH, FaultKind.RESTORE_LINK,
+    ]
+    assert [a.at_ns for a in sched.actions] == [10, 20, 30, 40, 50, 60]
+
+
+# ----------------------------------------------------------- failover report
+def test_failover_report_derived_metrics():
+    report = FailoverReport(crash_time=100, detected_at=400, takeover_at=500,
+                            acked=20, resumed_from=15)
+    assert report.detection_ns == 300
+    assert report.failover_ns == 400
+    assert report.lost_writes == 5
+
+
+def test_failover_report_no_detection_yet():
+    report = FailoverReport(crash_time=100)
+    assert report.detection_ns is None
+    assert report.failover_ns is None
+    assert report.lost_writes == 0

@@ -1,0 +1,97 @@
+"""Unit tests for AmpNode's delivery dispatch and handler registry."""
+
+import pytest
+
+from repro.micropacket import MicroPacket, MicroPacketType
+from repro.node import AmpNode
+from repro.phys import build_switched
+from repro.phys.frame import frame_for
+from repro.sim import Simulator
+
+
+def make_node(sim=None):
+    sim = sim or Simulator()
+    topo = build_switched(sim, 2, 1)
+    return AmpNode(sim, 0, topo.ports_of(0)), sim
+
+
+def pkt(ptype=MicroPacketType.DATA, channel=0):
+    return MicroPacket(ptype=ptype, src=1, dst=0, channel=channel, payload=b"x")
+
+
+def deliver(node, packet):
+    node._deliver(packet, frame_for(packet))
+
+
+def test_specific_channel_handler_wins_over_wildcard():
+    node, _sim = make_node()
+    hits = []
+    node.register_handler(MicroPacketType.DATA, 3, lambda p, f: hits.append("ch3"))
+    node.register_handler(MicroPacketType.DATA, None, lambda p, f: hits.append("any"))
+    deliver(node, pkt(channel=3))
+    deliver(node, pkt(channel=5))
+    assert hits == ["ch3", "any"]
+
+
+def test_default_sink_gets_unclaimed_only():
+    node, _sim = make_node()
+    hits = []
+    node.register_handler(MicroPacketType.DATA, 1, lambda p, f: None)
+    node.register_default(lambda p, f: hits.append(p.channel))
+    deliver(node, pkt(channel=1))  # claimed
+    deliver(node, pkt(channel=2))  # unclaimed
+    assert hits == [2]
+
+
+def test_duplicate_registration_rejected():
+    node, _sim = make_node()
+    node.register_handler(MicroPacketType.DATA, 1, lambda p, f: None)
+    with pytest.raises(ValueError):
+        node.register_handler(MicroPacketType.DATA, 1, lambda p, f: None)
+
+
+def test_unregister_frees_channel():
+    node, _sim = make_node()
+    node.register_handler(MicroPacketType.DATA, 1, lambda p, f: None)
+    node.unregister_handler(MicroPacketType.DATA, 1)
+    node.register_handler(MicroPacketType.DATA, 1, lambda p, f: None)  # ok
+
+
+def test_type_dispatch_keeps_types_separate():
+    node, _sim = make_node()
+    hits = []
+    node.register_handler(MicroPacketType.INTERRUPT, None,
+                          lambda p, f: hits.append("int"))
+    node.register_handler(MicroPacketType.DIAGNOSTIC, None,
+                          lambda p, f: hits.append("diag"))
+    deliver(node, pkt(MicroPacketType.INTERRUPT))
+    deliver(node, pkt(MicroPacketType.DIAGNOSTIC))
+    assert hits == ["int", "diag"]
+
+
+def test_send_validates_source_id():
+    node, _sim = make_node()
+    with pytest.raises(ValueError):
+        node.send(MicroPacket(ptype=MicroPacketType.DATA, src=3, dst=0,
+                              payload=b"x"))
+
+
+def test_crashed_node_ignores_frames_and_carrier():
+    node, sim = make_node()
+    hits = []
+    node.register_default(lambda p, f: hits.append(p))
+    node.crash()
+    node._on_frame(frame_for(pkt()), node.ports[0])
+    node._on_carrier(False, node.ports[0])
+    assert hits == []
+    assert node.agent.counters["triggers"] == 0
+
+
+def test_tour_listeners_fan_out():
+    node, _sim = make_node()
+    a, b = [], []
+    node.tour_complete_listeners.append(a.append)
+    node.tour_complete_listeners.append(b.append)
+    frame = frame_for(pkt())
+    node._tour_complete(frame)
+    assert a == [frame] and b == [frame]

@@ -1,0 +1,102 @@
+"""Unit tests for the messenger's reassembly and channel bookkeeping."""
+
+import pytest
+
+from repro.transport.messaging import _Reassembly
+from repro.micropacket import VARIABLE_PAYLOAD_MAX
+from repro.node import AmpNode
+from repro.phys import build_switched
+from repro.sim import Simulator
+from repro.transport import Messenger
+
+
+def make_messenger():
+    sim = Simulator()
+    topo = build_switched(sim, 2, 1)
+    node = AmpNode(sim, 0, topo.ports_of(0))
+    return Messenger(node), sim
+
+
+# ---------------------------------------------------------------- reassembly
+def test_reassembly_in_order():
+    r = _Reassembly()
+    assert r.add(0, b"aaaa", last=False, channel=1) is None
+    assert r.add(4, b"bb", last=True, channel=1) == b"aaaabb"
+
+
+def test_reassembly_out_of_order():
+    r = _Reassembly()
+    assert r.add(4, b"bb", last=True, channel=1) is None
+    assert r.add(0, b"aaaa", last=False, channel=1) == b"aaaabb"
+
+
+def test_reassembly_gap_not_delivered():
+    r = _Reassembly()
+    r.add(0, b"aa", last=False, channel=0)
+    # Missing [2:4); last fragment supplies total length 6.
+    assert r.add(4, b"cc", last=True, channel=0) is None
+
+
+def test_reassembly_duplicate_fragment_idempotent():
+    r = _Reassembly()
+    r.add(0, b"aaaa", last=False, channel=0)
+    r.add(0, b"aaaa", last=False, channel=0)  # retransmission
+    assert r.add(4, b"b", last=True, channel=0) == b"aaaab"
+
+
+def test_reassembly_single_fragment():
+    r = _Reassembly()
+    assert r.add(0, b"whole", last=True, channel=2) == b"whole"
+
+
+# ---------------------------------------------------------------- messenger
+def test_send_validation():
+    messenger, _sim = make_messenger()
+    with pytest.raises(ValueError):
+        messenger.send(1, b"")
+    with pytest.raises(ValueError):
+        messenger.send(1, b"x", channel=16)
+
+
+def test_signal_validation():
+    messenger, _sim = make_messenger()
+    with pytest.raises(ValueError):
+        messenger.signal(1, b"nine bytes!")
+
+
+def test_fragment_count_matches_payload_size():
+    messenger, sim = make_messenger()
+    payload = b"z" * (VARIABLE_PAYLOAD_MAX * 3 + 1)
+    handle = messenger.send(1, payload)
+    assert len(handle.unconfirmed) == 4
+    offsets = sorted(handle.unconfirmed)
+    assert offsets == [0, 64, 128, 192]
+    last_pkt = handle.unconfirmed[192]
+    assert last_pkt.dma.last and len(last_pkt.payload) == 1
+
+
+def test_transfer_ids_wrap_without_zero():
+    messenger, _sim = make_messenger()
+    messenger._next_tid = 0xFFFF
+    h1 = messenger.send(1, b"a")
+    h2 = messenger.send(1, b"b")
+    assert h1.transfer_id == 0xFFFF
+    assert h2.transfer_id == 1  # wraps past 0
+
+
+def test_channel_claims_are_exclusive():
+    messenger, _sim = make_messenger()
+    messenger.on_message(9, lambda s, d, c: None)
+    with pytest.raises(ValueError):
+        messenger.on_message(9, lambda s, d, c: None)
+    messenger.on_signal(9, lambda s, d: None)
+    with pytest.raises(ValueError):
+        messenger.on_signal(9, lambda s, d: None)
+
+
+def test_reset_clears_inflight_state():
+    messenger, _sim = make_messenger()
+    messenger.send(1, b"pending data")
+    messenger.reset()
+    assert not messenger._outgoing
+    assert not messenger._reassembly
