@@ -14,19 +14,46 @@ Quick start::
     cluster.start()
     cluster.run_until_ring_up()
 
+Membership & failure detection
+------------------------------
+
+Two liveness mechanisms coexist, answering different questions:
+
+* **Roster-driven** (always on): the rostering flood plus the AmpDK
+  heartbeat backstop decide *who is on the ring right now*.  It is
+  authoritative for the data plane, but every failure costs a global,
+  coordinated re-roster.
+* **Gossip-driven** (``ClusterConfig(membership=True)``): every node
+  runs a :mod:`repro.membership` endpoint — periodic digest push to a
+  few random partners plus a SWIM direct probe, with
+  ALIVE -> SUSPECT -> DEAD verdicts guarded by incarnation numbers.
+  O(fanout) messages per node per period, O(log N) periods to converge,
+  no coordinator; it expresses states rostering cannot (suspected,
+  partitioned-but-alive, rejoined under a fresh incarnation).
+
+Use the roster for "can I send to X now", gossip for scalable health
+knowledge (churn experiments, partition detection, placement).  With
+``membership_liveness=True`` the roster consumes gossip verdicts and
+will not re-admit a node the epidemic layer has declared dead.  See
+``examples/README.md`` for the full guidance and
+``benchmarks/bench_f10_gossip_convergence.py`` for the numbers.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-shape
 reproduction results.
 """
 
 from .cluster import AmpNetCluster, ClusterConfig
+from .membership import GossipProtocol, MembershipConfig
 from .node import AmpNode, NodeConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmpNetCluster",
     "AmpNode",
     "ClusterConfig",
+    "GossipProtocol",
+    "MembershipConfig",
     "NodeConfig",
     "__version__",
 ]

@@ -30,6 +30,7 @@ _CATEGORIES = {
     "ring_certified": "CERTIFIED",
     "cache_refreshed": "REFRESH",
     "cg_primary": "TAKEOVER",
+    "membership": "MEMBER",
 }
 
 
@@ -45,7 +46,15 @@ def _detail(category: str, data: dict) -> str:
     if category == "fault":
         target = data.get("target")
         switch = data.get("switch")
-        where = f"node {target}" if switch is None else f"node {target}/sw {switch}"
+        if data.get("group") is not None:
+            where = (
+                f"nodes {list(data['group'])} keep switches "
+                f"{list(data.get('switch_group') or ())}"
+            )
+        elif switch is None:
+            where = f"node {target}"
+        else:
+            where = f"node {target}/sw {switch}"
         return f"{data.get('kind')} ({where})"
     if category == "roster_trigger":
         return str(data.get("reason", ""))
@@ -68,6 +77,11 @@ def _detail(category: str, data: dict) -> str:
         return f"group {data.get('group')}: {verb}"
     if category == "ring_down":
         return str(data.get("reason", ""))
+    if category == "membership":
+        return (
+            f"peer {data.get('peer')} -> {data.get('status')} "
+            f"(inc {data.get('incarnation')}, {data.get('why', '')})"
+        )
     return ""  # pragma: no cover
 
 

@@ -31,13 +31,14 @@ from .kernel import (
     ControlGroupConfig,
     GroupApp,
 )
+from .membership import GossipProtocol, MembershipConfig
 from .node import AmpNode, NodeConfig
 from .phys import PhysicalTopology, build_switched, ring_tour_estimate_ns
 from .ring import FlowControlConfig
 from .hostapi import AmpDC
 from .services import AmpFiles, AmpIP, AmpSubscribe, AmpThreads
 from .rostering import Roster, RosterConfig
-from .sim import SimulationError, Simulator, Tracer
+from .sim import ConvergenceTracker, SimulationError, Simulator, Tracer
 from .transport import Messenger
 
 __all__ = ["AmpNetCluster", "ClusterConfig"]
@@ -58,6 +59,14 @@ class ClusterConfig:
     regions: List[RegionSpec] = field(default_factory=list)
     #: Override the computed report window (ns); None = one tour estimate.
     report_window_ns: Optional[int] = None
+    #: Run the gossip membership / SWIM failure-detection protocol on
+    #: every node (see :mod:`repro.membership`).
+    membership: bool = False
+    #: Gossip tuning; unresolved fields scale with the ring-tour estimate.
+    membership_cfg: MembershipConfig = field(default_factory=MembershipConfig)
+    #: Let rostering consume gossip verdicts: a master will not admit a
+    #: node its membership view has declared DEAD.  Requires membership.
+    membership_liveness: bool = False
 
 
 class AmpNetCluster:
@@ -92,6 +101,16 @@ class AmpNetCluster:
         self.nodes: Dict[int, AmpNode] = {}
         self.kernels: Dict[int, AmpDK] = {}
         self.control_groups: Dict[str, Dict[int, ControlGroup]] = {}
+        #: convergence metrics over membership trace records (always
+        #: constructed; it only sees records when membership is on)
+        self.convergence = ConvergenceTracker(self.tracer)
+        if config.membership_liveness and not config.membership:
+            raise ValueError("membership_liveness requires membership=True")
+        # Gossip timing defaults scale with cluster size and fabric: see
+        # MembershipConfig.resolved_for for the ring-capacity math.
+        self._membership_cfg = config.membership_cfg.resolved_for(
+            config.n_nodes, self.tour_estimate_ns
+        )
         ampdk_cfg = replace(config.ampdk, tour_estimate_ns=self.tour_estimate_ns)
         for node_id in self.topology.node_ids:
             node_cfg = replace(
@@ -122,6 +141,10 @@ class AmpNetCluster:
         node.threads = AmpThreads(node)
         node.ip = AmpIP(node)
         node.assimilation = AssimilationTracker(node)
+        if self.config.membership:
+            node.membership = GossipProtocol(node, self._membership_cfg)
+            if self.config.membership_liveness:
+                node.agent.liveness_filter = node.membership.considers_live
         # First boot: every replica is identically empty, hence warm.
         node.refresh.warm = True
 
@@ -130,6 +153,8 @@ class AmpNetCluster:
         """Boot every node (they self-organize into a ring)."""
         for node in self.nodes.values():
             node.boot()
+            if node.membership is not None:
+                node.membership.start()
 
     def run(self, until=None):
         return self.sim.run(until=until)
@@ -184,11 +209,20 @@ class AmpNetCluster:
     def _configure_switches(
         self, maps: Dict[int, Dict[int, int]], roster: Roster
     ) -> None:
-        """Install crossconnects for a new roster (master control path)."""
-        for sw in self.topology.switches:
+        """Install crossconnects for a new roster (master control path).
+
+        Only switches the new ring actually uses are touched.  Resetting
+        the others (as this used to do) let a partitioned segment's
+        master wipe the *other* side's crossconnects every round — the
+        two rings tore each other down forever.  A stale map on an
+        unused switch is harmless: no roster hop sends into it, and the
+        next ring that threads it reprograms it via its own ``maps``.
+        """
+        for sw_id, ring_map in maps.items():
+            sw = self.topology.switches[sw_id]
             if sw.failed:
                 continue
-            sw.configure_ring(maps.get(sw.switch_id, {}))
+            sw.configure_ring(ring_map)
             sw.reset_flood_cache()
 
     # -------------------------------------------------------------- faults
@@ -218,6 +252,42 @@ class AmpNetCluster:
         node.recover()
         node.assimilation.mark_join_request()
         node.join_existing()
+        if node.membership is not None:
+            node.membership.recover()
+
+    def partition(self, nodes, switches) -> None:
+        """Split the segment: ``nodes`` keep only ``switches``; everyone
+        else keeps only the remaining switches.  Both sides re-roster
+        into their own smaller rings.
+
+        Every cross-side fibre is cut, including those of dark nodes
+        (cut is idempotent): a node that recovers mid-partition must
+        wake up *inside* the partition, not straddling it.
+        """
+        side_a = set(nodes)
+        switches_a = set(switches)
+        for node_id in self.nodes:
+            for sw in range(len(self.topology.switches)):
+                same_side = (node_id in side_a) == (sw in switches_a)
+                if not same_side:
+                    self.topology.cut_link(node_id, sw)
+
+    def heal_partition(self, nodes, switches) -> None:
+        """Restore the fibres :meth:`partition` cut (same arguments).
+
+        Crashed nodes get their fibres un-cut too: cut state and dark
+        state are independent on a :class:`~repro.phys.link.Fiber`, so
+        the fibre stays down until the node powers back on — but when it
+        does, it must come back with its full redundancy, not with the
+        partition's cuts silently still in place.
+        """
+        side_a = set(nodes)
+        switches_a = set(switches)
+        for node_id in self.nodes:
+            for sw in range(len(self.topology.switches)):
+                same_side = (node_id in side_a) == (sw in switches_a)
+                if not same_side:
+                    self.topology.restore_link(node_id, sw)
 
     # -------------------------------------------------------- applications
     def create_control_group(
@@ -253,3 +323,59 @@ class AmpNetCluster:
 
     def live_nodes(self) -> List[AmpNode]:
         return [n for n in self.nodes.values() if not n.failed]
+
+    # ---------------------------------------------------------- membership
+    def membership_converged(self, dead=frozenset()) -> bool:
+        """True when every live node's gossip view matches reality: each
+        node in ``dead`` is marked DEAD and no live node is."""
+        if not self.config.membership:
+            raise SimulationError("cluster built without membership=True")
+        dead = set(dead)
+        live = [n for n in self.live_nodes() if n.membership is not None]
+        for node in live:
+            view = node.membership.view
+            for victim in dead:
+                if victim == node.node_id:
+                    continue
+                if victim not in set(view.dead_ids()):
+                    return False
+            for other in live:
+                if other.node_id != node.node_id and not view.considers_live(other.node_id):
+                    return False
+        return True
+
+    def run_until_membership_converged(
+        self, dead=frozenset(), timeout_ns: Optional[int] = None
+    ) -> int:
+        """Advance until :meth:`membership_converged`; returns now.
+
+        Default horizon covers staleness + suspicion windows plus several
+        dissemination periods.  Raises ``SimulationError`` on timeout.
+        """
+        cfg = self._membership_cfg
+        default_horizon = (
+            cfg.stale_after_ns + cfg.suspicion_window_ns + 40 * cfg.period_ns
+        )
+        horizon = self.sim.now + (timeout_ns or default_horizon)
+        step = cfg.period_ns
+        while self.sim.now < horizon:
+            if self.membership_converged(dead):
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step, horizon))
+        if self.membership_converged(dead):
+            return self.sim.now
+        raise SimulationError("membership did not converge before the horizon")
+
+    def membership_overhead(self) -> Dict[str, float]:
+        """Aggregate gossip message/byte counters across live nodes."""
+        live = [n for n in self.live_nodes() if n.membership is not None]
+        totals = {"gossip_tx": 0, "gossip_bytes_tx": 0, "pings_tx": 0, "acks_tx": 0}
+        for node in live:
+            for key in totals:
+                totals[key] += node.membership.counters[key]
+        out: Dict[str, float] = dict(totals)
+        out["per_node_msgs"] = (
+            (totals["gossip_tx"] + totals["pings_tx"] + totals["acks_tx"]) / len(live)
+            if live else 0.0
+        )
+        return out

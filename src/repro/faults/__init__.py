@@ -1,9 +1,11 @@
 """Fault injection: scripted schedules and named scenarios."""
 
-from .injector import FaultAction, FaultKind, FaultSchedule
+from .injector import FaultAction, FaultKind, FaultSchedule, FaultScheduleError
 from .scenarios import (
     crash_and_rejoin,
     double_fault,
+    flapping_node,
+    partition_and_heal,
     primary_crash,
     rolling_switch_failures,
     single_link_cut,
@@ -14,7 +16,10 @@ __all__ = [
     "FaultAction",
     "FaultKind",
     "FaultSchedule",
+    "FaultScheduleError",
     "crash_and_rejoin",
+    "flapping_node",
+    "partition_and_heal",
     "double_fault",
     "primary_crash",
     "rolling_switch_failures",

@@ -4,20 +4,34 @@ A :class:`FaultSchedule` is a list of timed fault actions applied to an
 :class:`~repro.cluster.AmpNetCluster`.  Schedules are plain data, so the
 benchmarks and tests can describe failure scenarios declaratively and
 reproducibly.
+
+Beyond the single-shot faults, the schedule builders express *churn*:
+:meth:`FaultSchedule.flap_node` expands into a crash/recover train, and
+:meth:`FaultSchedule.partition` / :meth:`FaultSchedule.heal_partition`
+split the segment into two halves that keep running but cannot see each
+other — the scenarios the gossip membership layer exists to survive.
+
+Every schedule is validated against the cluster when it is armed (see
+:meth:`FaultSchedule.validate`): a typo'd node or switch id fails with a
+clear error at build time instead of a ``KeyError`` mid-simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from ..sim import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster import AmpNetCluster
 
-__all__ = ["FaultKind", "FaultAction", "FaultSchedule"]
+__all__ = ["FaultKind", "FaultAction", "FaultSchedule", "FaultScheduleError"]
+
+
+class FaultScheduleError(ValueError):
+    """A schedule references targets the cluster does not have."""
 
 
 class FaultKind(Enum):
@@ -27,25 +41,94 @@ class FaultKind(Enum):
     REPAIR_SWITCH = "repair_switch"
     CRASH_NODE = "crash_node"
     RECOVER_NODE = "recover_node"
+    PARTITION = "partition"
+    HEAL_PARTITION = "heal_partition"
+
+
+#: Kinds whose ``target`` is a node id and whose ``switch`` names a fibre.
+_LINK_KINDS = (FaultKind.CUT_LINK, FaultKind.RESTORE_LINK)
+#: Kinds whose ``target`` is a node id.
+_NODE_KINDS = _LINK_KINDS + (FaultKind.CRASH_NODE, FaultKind.RECOVER_NODE)
+#: Kinds whose ``target`` is a switch id.
+_SWITCH_KINDS = (FaultKind.FAIL_SWITCH, FaultKind.REPAIR_SWITCH)
+#: Kinds described by ``group``/``switch_group`` instead of ``target``.
+_GROUP_KINDS = (FaultKind.PARTITION, FaultKind.HEAL_PARTITION)
 
 
 @dataclass(frozen=True)
 class FaultAction:
-    """One fault at one instant."""
+    """One fault at one instant.
+
+    ``target`` is overloaded by kind — a **node id** for
+    crash/recover/link faults, a **switch id** for switch faults, and
+    unused (``None``) for partition faults, which carry their node and
+    switch sets in ``group`` / ``switch_group``.  :meth:`validate`
+    checks the referenced ids against a real cluster.
+    """
 
     at_ns: int
     kind: FaultKind
-    #: node id for node/link faults; switch id for switch faults
-    target: int
-    #: switch id for link faults
+    #: node id (node/link faults) or switch id (switch faults); None for
+    #: partition faults
+    target: Optional[int] = None
+    #: switch id carrying the fibre, for link faults only
     switch: Optional[int] = None
+    #: node ids on side A of a partition
+    group: Optional[Tuple[int, ...]] = None
+    #: switch ids granted to side A of a partition (side B keeps the rest)
+    switch_group: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
-        link_kinds = (FaultKind.CUT_LINK, FaultKind.RESTORE_LINK)
-        if self.kind in link_kinds and self.switch is None:
-            raise ValueError(f"{self.kind.value} needs a switch id")
         if self.at_ns < 0:
             raise ValueError("fault time must be non-negative")
+        if self.kind in _GROUP_KINDS:
+            if not self.group or not self.switch_group:
+                raise ValueError(
+                    f"{self.kind.value} needs a node group and a switch group"
+                )
+        else:
+            if self.target is None:
+                raise ValueError(f"{self.kind.value} needs a target id")
+            if self.kind in _LINK_KINDS and self.switch is None:
+                raise ValueError(f"{self.kind.value} needs a switch id")
+
+    def validate(self, cluster: "AmpNetCluster") -> None:
+        """Check every referenced id exists; raise FaultScheduleError."""
+        node_ids = set(cluster.nodes)
+        n_switches = len(cluster.topology.switches)
+
+        def check_node(node: int) -> None:
+            if node not in node_ids:
+                raise FaultScheduleError(
+                    f"{self.kind.value} at t={self.at_ns}ns references node "
+                    f"{node}, but the cluster only has nodes "
+                    f"{sorted(node_ids)}"
+                )
+
+        def check_switch(sw: int) -> None:
+            if not 0 <= sw < n_switches:
+                raise FaultScheduleError(
+                    f"{self.kind.value} at t={self.at_ns}ns references switch "
+                    f"{sw}, but the cluster only has switches "
+                    f"0..{n_switches - 1}"
+                )
+
+        if self.kind in _NODE_KINDS:
+            check_node(self.target)  # type: ignore[arg-type]
+        if self.kind in _LINK_KINDS:
+            check_switch(self.switch)  # type: ignore[arg-type]
+        if self.kind in _SWITCH_KINDS:
+            check_switch(self.target)  # type: ignore[arg-type]
+        if self.kind in _GROUP_KINDS:
+            for node in self.group or ():
+                check_node(node)
+            for sw in self.switch_group or ():
+                check_switch(sw)
+            if set(self.switch_group or ()) >= set(range(n_switches)):
+                raise FaultScheduleError(
+                    f"{self.kind.value} at t={self.at_ns}ns grants every "
+                    "switch to side A; side B would have no fabric at all"
+                )
 
     def apply(self, cluster: "AmpNetCluster") -> None:
         if self.kind == FaultKind.CUT_LINK:
@@ -60,6 +143,10 @@ class FaultAction:
             cluster.crash_node(self.target)
         elif self.kind == FaultKind.RECOVER_NODE:
             cluster.recover_node(self.target)
+        elif self.kind == FaultKind.PARTITION:
+            cluster.partition(self.group, self.switch_group)
+        elif self.kind == FaultKind.HEAL_PARTITION:
+            cluster.heal_partition(self.group, self.switch_group)
         else:  # pragma: no cover - enum is closed
             raise ValueError(self.kind)
 
@@ -98,8 +185,60 @@ class FaultSchedule:
     def recover_node(self, at_ns: int, node: int) -> "FaultSchedule":
         return self.add(FaultAction(at_ns, FaultKind.RECOVER_NODE, node))
 
+    # ---------------------------------------------------------------- churn
+    def flap_node(
+        self,
+        at_ns: int,
+        node: int,
+        flaps: int = 3,
+        down_ns: int = 1_000_000,
+        up_ns: int = 1_000_000,
+    ) -> "FaultSchedule":
+        """A flapping node: ``flaps`` crash/recover cycles starting at
+        ``at_ns``, each ``down_ns`` dark then ``up_ns`` lit."""
+        if flaps < 1:
+            raise ValueError("flaps must be >= 1")
+        if down_ns <= 0 or up_ns <= 0:
+            raise ValueError("flap phases must be positive")
+        t = at_ns
+        for _ in range(flaps):
+            self.crash_node(t, node)
+            self.recover_node(t + down_ns, node)
+            t += down_ns + up_ns
+        return self
+
+    def partition(
+        self, at_ns: int, nodes: Tuple[int, ...], switches: Tuple[int, ...]
+    ) -> "FaultSchedule":
+        """Split the segment: ``nodes`` keep only ``switches``, everyone
+        else keeps only the remaining switches."""
+        return self.add(
+            FaultAction(
+                at_ns, FaultKind.PARTITION,
+                group=tuple(nodes), switch_group=tuple(switches),
+            )
+        )
+
+    def heal_partition(
+        self, at_ns: int, nodes: Tuple[int, ...], switches: Tuple[int, ...]
+    ) -> "FaultSchedule":
+        """Undo :meth:`partition` (same arguments restore the same fibres)."""
+        return self.add(
+            FaultAction(
+                at_ns, FaultKind.HEAL_PARTITION,
+                group=tuple(nodes), switch_group=tuple(switches),
+            )
+        )
+
+    # ----------------------------------------------------------------- arm
+    def validate(self, cluster: "AmpNetCluster") -> None:
+        """Check every action against the cluster; raise on bad targets."""
+        for action in self.actions:
+            action.validate(cluster)
+
     def arm(self, cluster: "AmpNetCluster") -> None:
-        """Schedule every action on the cluster's simulator."""
+        """Validate, then schedule every action on the cluster's simulator."""
+        self.validate(cluster)
         for action in sorted(self.actions, key=lambda a: a.at_ns):
             def fire(a: FaultAction = action) -> None:
                 a.apply(cluster)
@@ -107,6 +246,7 @@ class FaultSchedule:
                 cluster.tracer.record(
                     cluster.sim.now, "fault", "injector",
                     kind=a.kind.value, target=a.target, switch=a.switch,
+                    group=a.group, switch_group=a.switch_group,
                 )
 
             cluster.sim.call_at(action.at_ns, fire)

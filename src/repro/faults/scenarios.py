@@ -22,6 +22,8 @@ __all__ = [
     "primary_crash",
     "crash_and_rejoin",
     "double_fault",
+    "flapping_node",
+    "partition_and_heal",
 ]
 
 
@@ -68,6 +70,42 @@ def crash_and_rejoin(cluster: "AmpNetCluster", node: int = 2,
         FaultSchedule()
         .crash_node(crash_tours * tour, node)
         .recover_node(rejoin_tours * tour, node)
+    )
+
+
+def flapping_node(cluster: "AmpNetCluster", node: int = 1,
+                  after_tours: int = 40, flaps: int = 3,
+                  down_tours: int = 40, up_tours: int = 120) -> FaultSchedule:
+    """A node that keeps crashing and recovering — the churn pattern that
+    stresses suspicion/refutation in the gossip membership layer."""
+    tour = _tour(cluster)
+    return FaultSchedule().flap_node(
+        after_tours * tour, node, flaps=flaps,
+        down_ns=down_tours * tour, up_ns=up_tours * tour,
+    )
+
+
+def partition_and_heal(cluster: "AmpNetCluster",
+                       after_tours: int = 40,
+                       heal_tours: int = 400) -> FaultSchedule:
+    """Split the segment down the middle (half the nodes keep half the
+    switches), then heal.  Each side keeps running its own ring; gossip
+    on each side declares the other side dead, and the heal forces the
+    views to reconcile via incarnation refutations."""
+    tour = _tour(cluster)
+    n_nodes = len(cluster.nodes)
+    n_switches = len(cluster.topology.switches)
+    if n_switches < 2:
+        raise ValueError(
+            "cannot partition a single-switch segment: both sides need "
+            "at least one switch of their own"
+        )
+    side_a = tuple(range(n_nodes // 2))
+    switches_a = tuple(range(n_switches // 2))
+    return (
+        FaultSchedule()
+        .partition(after_tours * tour, side_a, switches_a)
+        .heal_partition((after_tours + heal_tours) * tour, side_a, switches_a)
     )
 
 

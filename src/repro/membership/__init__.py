@@ -1,0 +1,38 @@
+"""Gossip-based membership & SWIM-style failure detection.
+
+Decentralized liveness for AmpNet: every node runs a
+:class:`GossipProtocol` that pushes its :class:`PeerView` digest to a few
+random partners each period and direct-probes one peer SWIM-style.
+Verdicts (ALIVE → SUSPECT → DEAD, guarded by incarnation numbers) spread
+epidemically in O(log N) periods with no coordinator — the scalable
+alternative to waiting for the centralized rostering flood to notice.
+
+Enable per cluster::
+
+    from repro import AmpNetCluster, ClusterConfig
+    from repro.membership import MembershipConfig
+
+    cluster = AmpNetCluster(config=ClusterConfig(
+        n_nodes=16, n_switches=2, membership=True,
+        membership_cfg=MembershipConfig(fanout=2),
+    ))
+
+See :mod:`repro.membership.state` for the merge semilattice and
+``examples/gossip_membership.py`` for the full tour.
+"""
+
+from .gossip import GossipProtocol, MembershipConfig
+from .state import PeerState, PeerStatus, PeerView, merge_states, state_key
+from .wire import decode_digest, encode_digest
+
+__all__ = [
+    "GossipProtocol",
+    "MembershipConfig",
+    "PeerState",
+    "PeerStatus",
+    "PeerView",
+    "decode_digest",
+    "encode_digest",
+    "merge_states",
+    "state_key",
+]

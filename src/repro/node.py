@@ -61,6 +61,10 @@ class AmpNode:
         self.agent.on_installed = self._roster_installed
         self.agent.on_ring_down = self._ring_down
 
+        #: gossip membership endpoint, attached by the cluster when the
+        #: ``membership`` config is on (see :mod:`repro.membership`)
+        self.membership = None
+
         #: subscribers notified on ring up/down (AmpDK, services)
         self.ring_up_listeners: List[Callable[[Roster], None]] = []
         self.ring_down_listeners: List[Callable[[str], None]] = []
@@ -111,6 +115,8 @@ class AmpNode:
         self.agent.enabled = False
         self.agent.state = AgentState.DOWN
         self.agent.roster = None
+        if self.membership is not None:
+            self.membership.crash()
 
     def recover(self) -> None:
         self.failed = False

@@ -118,6 +118,10 @@ class RosterAgent:
         self.switch_configurator: Optional[
             Callable[[Dict[int, Dict[int, int]], Roster], None]
         ] = None
+        #: alternative liveness source (gossip membership): returns False
+        #: for a node this agent should not admit to a roster it masters.
+        #: None = roster-driven liveness only (report presence decides).
+        self.liveness_filter: Optional[Callable[[int], bool]] = None
 
     # ------------------------------------------------------------- queries
     @property
@@ -165,6 +169,13 @@ class RosterAgent:
     def on_carrier_change(self, up: bool, port: Port) -> None:
         """Wired to every port's carrier handler by the node."""
         if up:
+            # New fabric appeared while we are operational (a repaired
+            # fibre or a healed partition): announce ourselves so any
+            # stranger ring on the far side merges with ours (slide 17's
+            # node-entry JOIN, reused for segment reunification).
+            if self.state == AgentState.OPERATIONAL:
+                self.counters.incr("carrier_up_joins")
+                self._flood(encode_join(self.node_id))
             return
         if self.state == AgentState.OPERATIONAL:
             self.trigger(f"carrier loss on {port.name}")
@@ -306,14 +317,24 @@ class RosterAgent:
         return attachment
 
     def _admissible_reports(self) -> Dict[int, RosterMessage]:
-        """Assimilation rule: exclude version-incompatible nodes."""
+        """Assimilation rules: exclude version-incompatible nodes, and —
+        when a membership verdict source is wired in — nodes the gossip
+        layer has declared dead (their flooded report may be stale, or
+        they may be a zombie the operator wants fenced off)."""
         minv = self.config.min_version
         out = {}
         for node, msg in self._reports.items():
-            if msg.version >= tuple(minv):
-                out[node] = msg
-            else:
+            if msg.version < tuple(minv):
                 self.counters.incr("version_rejected")
+                continue
+            if (
+                node != self.node_id
+                and self.liveness_filter is not None
+                and not self.liveness_filter(node)
+            ):
+                self.counters.incr("liveness_rejected")
+                continue
+            out[node] = msg
         return out
 
     def _decide(self, round_no: int) -> None:

@@ -9,13 +9,14 @@ See :mod:`repro.sim.kernel` for the event-loop semantics.
 
 from .events import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Timeout
 from .kernel import Simulator, StopSimulation
-from .monitor import Counter, LatencyStat, TimeSeries, Tracer
+from .monitor import ConvergenceTracker, Counter, LatencyStat, TimeSeries, Tracer
 from .rand import SeededStreams, derive_seed
 from .resources import Gate, PriorityStore, Resource, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ConvergenceTracker",
     "Counter",
     "Event",
     "Gate",

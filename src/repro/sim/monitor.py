@@ -11,7 +11,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["TraceRecord", "Tracer", "Counter", "TimeSeries", "LatencyStat"]
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "Counter",
+    "TimeSeries",
+    "LatencyStat",
+    "ConvergenceTracker",
+]
 
 
 @dataclass(frozen=True)
@@ -181,3 +188,75 @@ class LatencyStat:
             "p99": self.percentile(99),
             "max": float(self.maximum()),
         }
+
+
+class ConvergenceTracker:
+    """Convergence metrics over per-observer verdict trace records.
+
+    Subscribes live to a :class:`Tracer` and indexes records of one
+    category (``"membership"`` by default) that carry ``peer`` and
+    ``status`` fields, keyed by the record's ``source`` (the observer).
+    From that index it answers the questions every churn experiment asks:
+
+    * **time-to-detect** — how long after an incident did the *first*
+      observer reach a verdict about the peer;
+    * **time-to-converge** — how long until *every* required observer
+      reached it (epidemic dissemination is only done when the last
+      holdout agrees).
+
+    Records are indexed on arrival, so tracking stays O(1) per record no
+    matter how long the run (the raw Tracer list still holds everything
+    for offline analysis).
+    """
+
+    def __init__(self, tracer: Tracer, category: str = "membership"):
+        self.category = category
+        #: (peer, status) -> {observer source: every time it was recorded}.
+        #: All times are kept (transitions are rare), so repeated
+        #: incidents for the same peer — exactly what flapping and
+        #: partition churn produce — stay measurable via ``since``.
+        self._seen: Dict[Tuple[int, str], Dict[str, List[int]]] = {}
+        tracer.subscribe(self._on_record)
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        if rec.category != self.category:
+            return
+        peer = rec.data.get("peer")
+        status = rec.data.get("status")
+        if peer is None or status is None:
+            return
+        observers = self._seen.setdefault((peer, status), {})
+        observers.setdefault(rec.source, []).append(rec.time)
+
+    # ------------------------------------------------------------- queries
+    def verdict_times(
+        self, peer: int, status: str, since: int = 0
+    ) -> Dict[str, int]:
+        """observer -> first time at/after ``since`` it reached ``status``."""
+        out: Dict[str, int] = {}
+        for src, times in self._seen.get((peer, status), {}).items():
+            hits = [t for t in times if t >= since]
+            if hits:
+                out[src] = min(hits)
+        return out
+
+    def time_to_detect(
+        self, peer: int, status: str = "DEAD", since: int = 0
+    ) -> Optional[int]:
+        """Incident -> first observer's verdict, or None if nobody has one."""
+        times = self.verdict_times(peer, status, since)
+        return min(times.values()) - since if times else None
+
+    def time_to_converge(
+        self,
+        peer: int,
+        observers: Iterable[str],
+        status: str = "DEAD",
+        since: int = 0,
+    ) -> Optional[int]:
+        """Incident -> last required observer's verdict, or None if any holdout."""
+        times = self.verdict_times(peer, status, since)
+        required = list(observers)
+        if not required or any(obs not in times for obs in required):
+            return None
+        return max(times[obs] for obs in required) - since

@@ -57,6 +57,7 @@ class Channel:
     CONTROL_GROUP = 7
     RDMA = 8
     MPI = 9
+    MEMBERSHIP = 10
     # 14/15 are reserved by AmpDK diagnostics.
 
 

@@ -188,3 +188,22 @@ def test_rostering_elapsed_close_to_two_tours():
     elapsed = max(r.data["elapsed_ns"] for r in recs)
     tour = cluster.tour_estimate_ns
     assert tour <= elapsed <= 4 * tour
+
+
+def test_double_cut_heals_to_threaded_two_switch_roster():
+    """Cut (node0, sw1) and (node3, sw0) on a 2-switch segment: no single
+    switch reaches everyone, so the healed ring must *thread* both
+    switches via bridge nodes — and the master must program a switch it
+    has no direct live fibre to (regression: an over-eager control-plane
+    guard once left node 3 permanently excluded)."""
+    cluster = make_cluster(n_nodes=4, n_switches=2, seed=1)
+    cluster.run_until_ring_up()
+    cluster.cut_link(0, 1)
+    cluster.cut_link(3, 0)
+    cluster.run_until_reroster()
+    roster = cluster.current_roster()
+    assert set(roster.members) == {0, 1, 2, 3}
+    assert set(roster.hop_switches) == {0, 1}  # genuinely threaded
+    for node in cluster.nodes.values():
+        assert node.ring_up
+    roster.validate_against(cluster.topology.live_attachment())

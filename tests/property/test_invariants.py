@@ -142,3 +142,35 @@ def test_file_replication_is_content_faithful(data, seed):
     cluster.run(until=cluster.sim.now + 500 * cluster.tour_estimate_ns)
     for node in cluster.nodes.values():
         assert node.files.read_file_now("blob") == data
+
+
+@given(
+    n_nodes=st.integers(4, 8),
+    victim_raw=st.integers(0, 7),
+    seed=st.integers(0, 3),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_gossip_membership_is_accurate_and_complete_for_any_crash(
+    n_nodes, victim_raw, seed
+):
+    """Whatever the cluster size, victim and seed: after one crash the
+    gossip layer converges with *completeness* (every survivor marks the
+    victim DEAD) and *accuracy* (no survivor ends up marked DEAD)."""
+    victim = victim_raw % n_nodes
+    cluster = AmpNetCluster(
+        config=ClusterConfig(
+            n_nodes=n_nodes, n_switches=2, seed=seed, membership=True
+        )
+    )
+    cluster.start()
+    cluster.run_until_ring_up()
+    cfg = cluster._membership_cfg
+    cluster.run(until=cluster.sim.now + 5 * cfg.period_ns)
+    cluster.crash_node(victim)
+    cluster.run_until_membership_converged(dead={victim})
+    for node in cluster.live_nodes():
+        assert node.membership.view.dead_ids() == [victim]

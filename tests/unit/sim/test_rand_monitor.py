@@ -142,3 +142,26 @@ def test_latency_empty_stat():
     assert math.isnan(st.mean())
     assert st.minimum() == 0 and st.maximum() == 0
     assert math.isnan(st.percentile(50))
+
+
+def test_convergence_tracker_measures_repeated_incidents():
+    """A peer that dies, recovers and dies again must be measurable per
+    incident via ``since`` (regression: only the first-ever verdict used
+    to be kept, so churn experiments lost every incident after the first)."""
+    from repro.sim import ConvergenceTracker
+
+    tracer = Tracer()
+    tracker = ConvergenceTracker(tracer)
+    tracer.record(100, "membership", "member-0", peer=7, status="DEAD")
+    tracer.record(120, "membership", "member-1", peer=7, status="DEAD")
+    tracer.record(500, "membership", "member-0", peer=7, status="ALIVE")
+    tracer.record(900, "membership", "member-0", peer=7, status="DEAD")
+    tracer.record(950, "membership", "member-1", peer=7, status="DEAD")
+
+    assert tracker.time_to_detect(7, since=0) == 100
+    assert tracker.time_to_converge(7, ["member-0", "member-1"], since=0) == 120
+    # second incident, anchored after the recovery
+    assert tracker.time_to_detect(7, since=600) == 300
+    assert tracker.time_to_converge(7, ["member-0", "member-1"], since=600) == 350
+    # an observer with no verdict after `since` blocks convergence
+    assert tracker.time_to_converge(7, ["member-0", "member-9"], since=0) is None
