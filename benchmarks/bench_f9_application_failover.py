@@ -7,16 +7,24 @@ replication).  The baseline detects two orders of magnitude slower and
 loses acknowledged writes; AmpNet loses nothing.
 """
 
-from repro import AmpNetCluster, ClusterConfig
 from repro.analysis import fmt_ns, render_table
 from repro.baselines import FailoverConfig, TcpFailoverPair
 from repro.hostapi import APP_REGION, CheckpointedSequenceApp, SequenceLedger
 from repro.kernel import ControlGroupConfig
+from repro.scenarios import ScenarioSpec, TopologySpec
 from repro.sim import Simulator
+
+import harness
+
+AMPNET_SPEC = ScenarioSpec(
+    name="f9_failover",
+    description="primary-crash failover measurement topology",
+    topology=TopologySpec(n_nodes=6, n_switches=4),
+)
 
 
 def run_ampnet():
-    cluster = AmpNetCluster(config=ClusterConfig(n_nodes=6, n_switches=4))
+    cluster = AMPNET_SPEC.build_cluster()
     ledger = SequenceLedger()
     config = ControlGroupConfig(
         name="f9", members=[0, 1, 2], qualification={0: 9, 1: 5, 2: 1},
@@ -73,7 +81,7 @@ def run_experiment():
     return run_ampnet(), run_baseline()
 
 
-def test_f9_application_failover(benchmark, publish):
+def test_f9_application_failover(benchmark, publish, publish_json):
     amp, base = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     # Millisecond-class detection vs hundreds of milliseconds.
@@ -110,4 +118,27 @@ def test_f9_application_failover(benchmark, publish):
         )
         + "\nShape: millisecond detection and zero acked-write loss vs"
         "\nhundred-millisecond detection and real loss for the baseline.",
+    )
+    publish_json(
+        harness.bench_payload(
+            exp="F9",
+            title="Primary crash: detection, failover and acked-write loss",
+            params={"n_nodes": 6, "n_switches": 4},
+            columns=["system", "detection_ns", "failover_ns",
+                     "writes_acked", "acked_lost"],
+            rows=[
+                ["ampnet_control_group", amp["detection_ns"],
+                 amp["failover_ns"], amp["acked_before"], amp["lost"]],
+                ["tcp_primary_backup", base["detection_ns"],
+                 base["failover_ns"], base["acked_before"], base["lost"]],
+            ],
+            metrics={
+                "detection_speedup": base["detection_ns"] / amp["detection_ns"],
+                "amp_acked_lost": amp["lost"],
+                "baseline_acked_lost": base["lost"],
+            },
+            scenarios=[AMPNET_SPEC.to_dict()],
+            notes="AmpNet cluster built from the f9_failover ScenarioSpec; "
+                  "the control-group app and crash remain hand-driven.",
+        )
     )

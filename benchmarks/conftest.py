@@ -10,12 +10,13 @@ the paper's qualitative *shape* (who wins, by roughly what factor).
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+import harness
+
+RESULTS_DIR = harness.RESULTS_DIR
 
 
 @pytest.fixture(scope="session")
@@ -32,5 +33,17 @@ def publish(results_dir):
         print()
         print(text)
         (results_dir / f"{exp_id}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+@pytest.fixture
+def publish_json(results_dir):
+    """publish_json(payload): validate against the bench schema and
+    persist ``results/<exp>.json`` (see benchmarks/harness.py)."""
+
+    def _publish(payload) -> None:
+        path = harness.write_result(payload, results_dir)
+        print(f"\n[bench-json] wrote {path}")
 
     return _publish

@@ -1,0 +1,196 @@
+"""Shared machine-readable benchmark emission.
+
+Every bench publishes two artefacts into ``benchmarks/results/``:
+
+* the human table (``<exp>.txt``, unchanged — see conftest ``publish``);
+* a schema-versioned JSON document (``<exp>.json``) that seeds the
+  repo's perf trajectory: stable key order, no timestamps, fully
+  reproducible from the seeded simulation, so the files are
+  git-trackable and diffs show *performance* changes only.
+
+The document shape is pinned by ``SCHEMA_VERSION`` and enforced by
+:func:`validate_payload`, a dependency-free validator (CI runs it with
+nothing but the standard library; the JSON-Schema mirror in
+``BENCH_JSON_SCHEMA`` is for external tooling).
+
+Run ``python benchmarks/harness.py validate results/F3.json`` to check
+an emission by hand, or ``... validate --all`` for every JSON result.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = "repro-bench/1"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: JSON-Schema mirror of validate_payload, for external consumers.
+BENCH_JSON_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro benchmark result",
+    "type": "object",
+    "required": ["schema", "exp", "title", "params", "columns", "rows"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"const": SCHEMA_VERSION},
+        "exp": {"type": "string", "pattern": "^[A-Za-z][A-Za-z0-9_]*$"},
+        "title": {"type": "string"},
+        "params": {"type": "object"},
+        "columns": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+        "rows": {
+            "type": "array",
+            "items": {
+                "type": "array",
+                "items": {"type": ["number", "string", "boolean", "null"]},
+            },
+        },
+        "metrics": {"type": "object"},
+        "scenarios": {"type": "array", "items": {"type": "object"}},
+        "notes": {"type": "string"},
+    },
+}
+
+
+class BenchSchemaError(ValueError):
+    """An emission does not conform to SCHEMA_VERSION."""
+
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def bench_payload(
+    exp: str,
+    title: str,
+    params: Dict[str, Any],
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    metrics: Optional[Dict[str, Any]] = None,
+    scenarios: Optional[List[Dict[str, Any]]] = None,
+    notes: str = "",
+) -> Dict[str, Any]:
+    """Assemble (and validate) one bench emission."""
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "exp": exp,
+        "title": title,
+        "params": dict(params),
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+    }
+    if metrics:
+        payload["metrics"] = dict(metrics)
+    if scenarios:
+        payload["scenarios"] = list(scenarios)
+    if notes:
+        payload["notes"] = notes
+    validate_payload(payload)
+    return payload
+
+
+def validate_payload(payload: Any) -> None:
+    """Enforce SCHEMA_VERSION with no third-party dependencies."""
+    def fail(msg: str) -> None:
+        raise BenchSchemaError(f"bench JSON invalid: {msg}")
+
+    if not isinstance(payload, dict):
+        fail(f"top level must be an object, got {type(payload).__name__}")
+    allowed = set(BENCH_JSON_SCHEMA["properties"])
+    unknown = set(payload) - allowed
+    if unknown:
+        fail(f"unknown keys {sorted(unknown)}")
+    for key in BENCH_JSON_SCHEMA["required"]:
+        if key not in payload:
+            fail(f"missing required key {key!r}")
+    if payload["schema"] != SCHEMA_VERSION:
+        fail(f"schema {payload['schema']!r} != {SCHEMA_VERSION!r}")
+    exp = payload["exp"]
+    if not isinstance(exp, str) or not exp or not exp[0].isalpha() or not all(
+        c.isalnum() or c == "_" for c in exp
+    ):
+        fail(f"exp {exp!r} must be an identifier-like string")
+    if not isinstance(payload["title"], str):
+        fail("title must be a string")
+    if not isinstance(payload["params"], dict):
+        fail("params must be an object")
+    columns = payload["columns"]
+    if (
+        not isinstance(columns, list)
+        or not columns
+        or not all(isinstance(c, str) for c in columns)
+    ):
+        fail("columns must be a non-empty list of strings")
+    rows = payload["rows"]
+    if not isinstance(rows, list):
+        fail("rows must be a list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, list):
+            fail(f"row {i} is not a list")
+        if len(row) != len(columns):
+            fail(f"row {i} has {len(row)} cells for {len(columns)} columns")
+        for cell in row:
+            if not isinstance(cell, _SCALARS):
+                fail(f"row {i} cell {cell!r} is not a JSON scalar")
+    metrics = payload.get("metrics", {})
+    if not isinstance(metrics, dict):
+        fail("metrics must be an object")
+    scenarios = payload.get("scenarios", [])
+    if not isinstance(scenarios, list) or not all(
+        isinstance(s, dict) for s in scenarios
+    ):
+        fail("scenarios must be a list of objects")
+    if not isinstance(payload.get("notes", ""), str):
+        fail("notes must be a string")
+
+
+def write_result(payload: Dict[str, Any],
+                 results_dir: pathlib.Path = RESULTS_DIR) -> pathlib.Path:
+    """Validate and persist one emission as ``<exp>.json``."""
+    validate_payload(payload)
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"{payload['exp']}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def validate_file(path: pathlib.Path) -> None:
+    with open(path) as fh:
+        payload = json.load(fh)
+    validate_payload(payload)
+
+
+def _main(argv: List[str]) -> int:
+    usage = ("usage: python benchmarks/harness.py validate "
+             "(--all | PATH [PATH ...])")
+    if not argv or argv[0] != "validate":
+        print(usage, file=sys.stderr)
+        return 2
+    targets = argv[1:]
+    if "--all" in targets:
+        if targets != ["--all"]:
+            print(usage, file=sys.stderr)
+            return 2
+        targets = sorted(str(p) for p in RESULTS_DIR.glob("*.json"))
+        if not targets:
+            print(f"no JSON results under {RESULTS_DIR}", file=sys.stderr)
+            return 1
+    if not targets:
+        # Validating nothing must not look like success.
+        print(usage, file=sys.stderr)
+        return 2
+    bad = 0
+    for target in targets:
+        try:
+            validate_file(pathlib.Path(target))
+        except (OSError, json.JSONDecodeError, BenchSchemaError) as exc:
+            print(f"FAIL {target}: {exc}", file=sys.stderr)
+            bad += 1
+        else:
+            print(f"ok   {target}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

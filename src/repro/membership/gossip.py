@@ -313,6 +313,19 @@ class GossipProtocol:
                 old, new = change
                 if old is None or old.status != new.status or old.incarnation != new.incarnation:
                     self._record_transition(new, why=f"gossip from {src}")
+        # Anti-entropy reply: a digest from a peer we have tombstoned
+        # proves that peer is reachable again (two healed partitions
+        # bury *each other*, so neither camp ever picks the other as a
+        # gossip partner and the ring-up burst may predate refutations).
+        # Answering with our digest hands the sender our accusation to
+        # refute — and our camp's state to merge — so the epidemic jumps
+        # the camp boundary.  Bounded: one reply per received digest,
+        # and only while the sender stays buried in our view.
+        if not self.view.considers_live(src):
+            self.node.messenger.send(
+                src, encode_digest(self.view.digest()), self._channel
+            )
+            self.counters.incr("reconcile_reply_tx")
 
     def _maybe_refute(self, claim: PeerState) -> None:
         """SWIM refutation: nobody gets to bury me while I can still talk."""

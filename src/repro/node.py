@@ -170,6 +170,18 @@ class AmpNode:
         """Receive every delivery no specific handler claimed."""
         self._default_sinks.append(sink)
 
+    def unregister_default(self, sink) -> None:
+        """Stop a default sink (no-op if it was never registered).
+
+        Workload generators install default sinks; without this path a
+        second workload on the same cluster would double-count every
+        delivery into the first one's stats.
+        """
+        try:
+            self._default_sinks.remove(sink)
+        except ValueError:
+            pass
+
     def _deliver(self, packet: MicroPacket, frame: Frame) -> None:
         handler = self._handlers.get((packet.ptype, packet.channel))
         if handler is None:

@@ -1,0 +1,40 @@
+"""Declarative scenario engine: spec, runner, and the named library.
+
+Quickstart::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    result = run_scenario(get_scenario("slide7_mixed"))
+    assert result.ok, result.failures()
+    print(result.trace_digest)
+
+Or from the shell::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run slide7_mixed --seed 7 --json out.json
+"""
+
+from .library import SCENARIOS, get_scenario, scenario_names
+from .runner import (
+    InvariantResult,
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+    trace_digest,
+)
+from .spec import FaultSpec, ScenarioSpec, TopologySpec, WorkloadSpec
+
+__all__ = [
+    "SCENARIOS",
+    "FaultSpec",
+    "InvariantResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+    "trace_digest",
+]

@@ -1,0 +1,128 @@
+"""Command-line front end for the scenario engine.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run slide7_mixed [--seed N] [--json PATH]
+    python -m repro.scenarios run all
+    python -m repro.scenarios digest quiet_ring [--seed N] [--runs 2]
+
+``run`` exits non-zero if any invariant fails; ``digest`` re-runs the
+scenario and prints one trace digest per run (the golden-trace tests
+document their update procedure in terms of this command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..analysis import fmt_ns
+from .library import SCENARIOS, get_scenario, scenario_names
+from .runner import ScenarioResult, run_scenario
+
+
+def _print_result(result: ScenarioResult) -> None:
+    status = "OK" if result.ok else "FAIL"
+    span = result.end_ns - result.ring_up_ns
+    print(f"[{status}] {result.name} (seed {result.seed}): "
+          f"ring up at {fmt_ns(result.ring_up_ns)}, "
+          f"ran {fmt_ns(span)} ({span // max(result.tour_ns, 1)} tours)")
+    c = result.counters
+    print(f"       offered {c['offered']}  delivered {c['delivered']}  "
+          f"ring drops {c['ring_drops']}  faults {c['faults_fired']}  "
+          f"trace records {c['trace_records']}")
+    for inv in result.invariants:
+        mark = "+" if inv.ok else "-"
+        detail = f" ({inv.detail})" if inv.detail else ""
+        print(f"       [{mark}] {inv.name}{detail}")
+    print(f"       trace digest {result.trace_digest}")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(n) for n in scenario_names())
+    for name in scenario_names():
+        spec = SCENARIOS[name]()
+        topo = spec.topology
+        tags = []
+        if spec.membership:
+            tags.append("membership")
+        if spec.faults:
+            tags.append(f"{len(spec.faults)} faults")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"{name:<{width}}  {topo.n_nodes}n/{topo.n_switches}sw"
+              f"{suffix}\n{'':{width}}  {spec.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = scenario_names() if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario {unknown[0]!r}; known: "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        spec = get_scenario(name, seed=args.seed)
+        result = run_scenario(spec)
+        _print_result(result)
+        results.append((spec, result))
+    if args.json:
+        # Always a list, even for one scenario: consumers get one shape.
+        payload = [
+            {"spec": spec.to_dict(), "result": result.to_dict()}
+            for spec, result in results
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if all(r.ok for _s, r in results) else 1
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    if args.name not in SCENARIOS:
+        print(f"unknown scenario {args.name!r}; known: "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    digests = []
+    for _ in range(args.runs):
+        spec = get_scenario(args.name, seed=args.seed)
+        digests.append(run_scenario(spec).trace_digest)
+    for d in digests:
+        print(d)
+    if len(set(digests)) != 1:
+        print("DIVERGED: same-seed runs produced different digests",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.scenarios")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named scenarios")
+
+    run_p = sub.add_parser("run", help="run a named scenario (or 'all')")
+    run_p.add_argument("name", help="scenario name or 'all'")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--json", help="write spec+result JSON to this path")
+
+    dig_p = sub.add_parser("digest", help="print trace digests of repeat runs")
+    dig_p.add_argument("name")
+    dig_p.add_argument("--seed", type=int, default=None)
+    dig_p.add_argument("--runs", type=int, default=2)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_digest(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""The named scenario library.
+
+Each entry is a :class:`~repro.scenarios.spec.ScenarioSpec` factory —
+call it (optionally with a seed) for a fresh spec.  The library spans
+the space the ROADMAP asks for: quiet steady state, the paper's slide-7
+mixed insertion, broadcast storms, time-varying diurnal load, and every
+flavour of churn the membership layer exists to survive — all runnable
+via ``python -m repro.scenarios run <name>`` or the
+:func:`~repro.scenarios.runner.run_scenario` API.
+
+Conventions: workload rates are in nanoseconds (the cell world of the
+paper), fault times in ring tours after ring-up, and every stochastic
+stream's randomness comes from a stream named after the workload, so
+scenarios never perturb each other even when composed onto one
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .spec import FaultSpec, ScenarioSpec, TopologySpec, WorkloadSpec
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+
+def quiet_ring() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="quiet_ring",
+        description="Steady state: two constant-rate unicast streams on "
+                    "the quad-redundant slide-14 segment; nothing fails.",
+        topology=TopologySpec(n_nodes=6, n_switches=4),
+        seed=7,
+        workloads=(
+            WorkloadSpec("message", count=100, src=0, dst=2, channel=0,
+                         params={"interval_ns": 5_000}),
+            WorkloadSpec("message", count=80, src=3, dst=5, channel=1,
+                         params={"interval_ns": 7_000}),
+        ),
+        horizon_tours=150,
+    )
+
+
+def slide7_mixed() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slide7_mixed",
+        description="The paper's slide-7 story: two file transfers and "
+                    "two message streams inserted concurrently.",
+        topology=TopologySpec(n_nodes=4, n_switches=2),
+        seed=7,
+        workloads=(
+            WorkloadSpec("file", count=6, src=0, dst=2, channel=11,
+                         params={"chunk_bytes": 2048}),
+            WorkloadSpec("message", count=150, src=1, dst=3, channel=0,
+                         params={"interval_ns": 5_000}),
+            WorkloadSpec("message", count=150, src=2, dst=0, channel=1,
+                         params={"interval_ns": 5_000}),
+            WorkloadSpec("file", count=6, src=3, dst=1, channel=12,
+                         params={"chunk_bytes": 2048}),
+        ),
+        horizon_tours=600,
+    )
+
+
+def broadcast_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="broadcast_storm",
+        description="Slide-8 stress: every node broadcasts simultaneously "
+                    "as fast as flow control allows; zero drops expected.",
+        topology=TopologySpec(n_nodes=8, n_switches=2),
+        seed=7,
+        workloads=(
+            WorkloadSpec("broadcast", count=16, channel=3),
+        ),
+        horizon_tours=250,
+    )
+
+
+def diurnal_ramp() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="diurnal_ramp",
+        description="Time-varying load: an inhomogeneous-Poisson stream "
+                    "following a sinusoidal (diurnal) intensity next to a "
+                    "stream whose rate ramps steadily up.",
+        topology=TopologySpec(n_nodes=6, n_switches=2),
+        seed=7,
+        workloads=(
+            WorkloadSpec(
+                "inhomogeneous_poisson", count=200, src=0, dst=3, channel=0,
+                params={
+                    "peak_interval_ns": 3_000,
+                    "profile": {"shape": "sinusoidal", "period_tours": 200,
+                                "floor": 0.15},
+                },
+            ),
+            WorkloadSpec(
+                "inhomogeneous_poisson", count=150, src=4, dst=1, channel=1,
+                params={
+                    "peak_interval_ns": 3_000,
+                    "profile": {"shape": "ramp", "start_tours": 0,
+                                "end_tours": 250, "floor": 0.05},
+                },
+            ),
+        ),
+        horizon_tours=500,
+    )
+
+
+def failover_under_load() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="failover_under_load",
+        description="A node power-fails mid-run while reliable traffic "
+                    "keeps flowing; the ring re-rosters around the corpse "
+                    "and every offered message still arrives.",
+        topology=TopologySpec(n_nodes=6, n_switches=4),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=120, src=1, dst=2, channel=12,
+                         reliable=True, params={"mean_interval_ns": 6_000}),
+            WorkloadSpec("file", count=5, src=3, dst=4, channel=11,
+                         params={"chunk_bytes": 1024}),
+        ),
+        faults=(
+            FaultSpec("crash_node", at_tours=60, node=5),
+        ),
+        expect_dead=(5,),
+        invariants=("all_delivered", "roster_converged"),
+        horizon_tours=800,
+    )
+
+
+def churn_under_load() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="churn_under_load",
+        description="A flapping node (two crash/recover cycles) under "
+                    "reliable Poisson and bursty traffic, with gossip "
+                    "membership tracking every transition.",
+        topology=TopologySpec(n_nodes=8, n_switches=2),
+        seed=7,
+        membership=True,
+        workloads=(
+            WorkloadSpec("poisson", count=100, src=0, dst=3, channel=12,
+                         reliable=True, params={"mean_interval_ns": 8_000}),
+            WorkloadSpec("burst", count=90, src=1, dst=4, channel=13,
+                         reliable=True,
+                         params={"burst_mean": 6, "intra_gap_ns": 600,
+                                 "off_mean_ns": 40_000}),
+        ),
+        faults=(
+            FaultSpec("flap_node", at_tours=40, node=6, flaps=2,
+                      down_tours=120, up_tours=260),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "membership_view_consistent"),
+        horizon_tours=1000,
+    )
+
+
+def partition_heal_under_load() -> ScenarioSpec:
+    side_a = (0, 1, 2, 3)
+    switches_a = (0,)
+    return ScenarioSpec(
+        name="partition_heal_under_load",
+        description="The segment splits into two rings that each keep "
+                    "serving their side's traffic, then heals; gossip "
+                    "views reconcile via incarnation refutations.",
+        topology=TopologySpec(n_nodes=8, n_switches=2),
+        seed=7,
+        membership=True,
+        workloads=(
+            WorkloadSpec("poisson", count=90, src=0, dst=2, channel=12,
+                         reliable=True, params={"mean_interval_ns": 9_000}),
+            WorkloadSpec("poisson", count=90, src=5, dst=7, channel=13,
+                         reliable=True, params={"mean_interval_ns": 9_000}),
+        ),
+        faults=(
+            FaultSpec("partition", at_tours=60, nodes=side_a,
+                      switches=switches_a),
+            FaultSpec("heal_partition", at_tours=460, nodes=side_a,
+                      switches=switches_a),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "membership_view_consistent"),
+        horizon_tours=1100,
+    )
+
+
+def large_ring_64() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="large_ring_64",
+        description="Scale check: a 64-node ring carrying a Poisson "
+                    "stream, a burst stream and a constant stream at "
+                    "once; no drops, full delivery, one roster.",
+        topology=TopologySpec(n_nodes=64, n_switches=2),
+        seed=7,
+        workloads=(
+            # Rates sized to the fabric: a 64-node tour is ~71 us, and
+            # each node inserts at most a few cells per tour, so gaps in
+            # the tens of microseconds keep the offered load feasible
+            # (hotter gaps just queue at the NIC and stretch the run).
+            WorkloadSpec("poisson", count=30, src=0, dst=32, channel=0,
+                         params={"mean_interval_ns": 25_000}),
+            WorkloadSpec("burst", count=24, src=10, dst=40, channel=1,
+                         params={"burst_mean": 6, "intra_gap_ns": 2_000,
+                                 "off_mean_ns": 80_000}),
+            WorkloadSpec("message", count=20, src=5, dst=20, channel=2,
+                         params={"interval_ns": 40_000}),
+        ),
+        horizon_tours=60,
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
+    factory.__name__: factory
+    for factory in (
+        quiet_ring,
+        slide7_mixed,
+        broadcast_storm,
+        diurnal_ramp,
+        failover_under_load,
+        churn_under_load,
+        partition_heal_under_load,
+        large_ring_64,
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str, seed: Optional[int] = None) -> ScenarioSpec:
+    """Look up a named scenario, optionally overriding its seed."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        ) from None
+    spec = factory()
+    return spec if seed is None else spec.with_seed(seed)

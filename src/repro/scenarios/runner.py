@@ -1,0 +1,370 @@
+"""Execute a :class:`~repro.scenarios.spec.ScenarioSpec` and judge it.
+
+The runner owns the full experiment lifecycle:
+
+1. build the cluster the spec describes and bring the ring up;
+2. instantiate every workload (stochastic ones draw from named seeded
+   streams, so the whole run is pinned by the master seed);
+3. arm the fault storyline (tour-relative times resolved against the
+   certified ring's tour estimate);
+4. run the horizon, then grant grace time while workloads finish;
+5. close every workload (releasing its receive handlers), evaluate the
+   spec's invariants, and fold the tracer timeline into a digest.
+
+The digest is the determinism contract made machine-checkable: two runs
+of the same spec under the same seed must produce byte-identical
+timelines, which the golden-trace suite pins across commits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..analysis import ring_drop_count
+from ..cluster import AmpNetCluster
+from ..micropacket import BROADCAST
+from ..sim import Tracer
+from ..workloads import (
+    AllToAllBroadcast,
+    BurstStream,
+    FileStream,
+    InhomogeneousPoissonStream,
+    MessageStream,
+    PoissonStream,
+    ramp_profile,
+    sinusoidal_profile,
+)
+from .spec import ScenarioSpec, WorkloadSpec
+
+__all__ = [
+    "InvariantResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "trace_digest",
+]
+
+
+def trace_digest(tracer: Tracer) -> str:
+    """Stable 128-bit digest of a tracer timeline.
+
+    Canonical form per record: ``(time, category, source, sorted data
+    items)``.  Only value types with version-stable ``repr`` appear in
+    traces (ints, strs, tuples, None, floats), so the digest is
+    comparable across Python 3.10–3.12 and across platforms.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for r in tracer.records:
+        line = repr((r.time, r.category, r.source, tuple(sorted(r.data.items()))))
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run."""
+
+    name: str
+    seed: int
+    tour_ns: int
+    ring_up_ns: int
+    end_ns: int
+    streams: List[Dict[str, Any]] = field(default_factory=list)
+    invariants: List[InvariantResult] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    convergence: Dict[str, float] = field(default_factory=dict)
+    trace_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(inv.ok for inv in self.invariants)
+
+    def failures(self) -> List[InvariantResult]:
+        return [inv for inv in self.invariants if not inv.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "tour_ns": self.tour_ns,
+            "ring_up_ns": self.ring_up_ns,
+            "end_ns": self.end_ns,
+            "streams": list(self.streams),
+            "invariants": [
+                {"name": i.name, "ok": i.ok, "detail": i.detail}
+                for i in self.invariants
+            ],
+            "counters": dict(self.counters),
+            "convergence": dict(self.convergence),
+            "trace_digest": self.trace_digest,
+        }
+
+
+class ScenarioRunner:
+    """Build, run and judge one scenario."""
+
+    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None):
+        self.spec = spec
+        self.seed = spec.seed if seed is None else seed
+        self.cluster: Optional[AmpNetCluster] = None
+        self.workloads: List[Any] = []
+        self.ring_up_ns = 0
+
+    # ----------------------------------------------------------- lifecycle
+    def run(self) -> ScenarioResult:
+        spec = self.spec
+        cluster = self.cluster = spec.build_cluster(seed=self.seed)
+        cluster.start()
+        self.ring_up_ns = cluster.run_until_ring_up()
+        tour = cluster.tour_estimate_ns
+
+        self.workloads = [
+            self._build_workload(w, index) for index, w in enumerate(spec.workloads)
+        ]
+        sched = spec.build_fault_schedule(self.ring_up_ns, tour)
+        if sched.actions:
+            sched.arm(cluster)
+
+        cluster.run(until=self.ring_up_ns + spec.horizon_tours * tour)
+        # Grace: bursty arrivals, post-fault retransmissions and epidemic
+        # reconciliation may need longer than the nominal horizon; extend
+        # in slices until the run is settled (or grace runs out).
+        deadline = cluster.sim.now + spec.grace_tours * tour
+        step = max(50 * tour, 1)
+        while not self._settled() and cluster.sim.now < deadline:
+            cluster.run(until=min(cluster.sim.now + step, deadline))
+
+        for workload in self.workloads:
+            workload.close()
+        return self._judge()
+
+    # ----------------------------------------------------------- workloads
+    def _build_workload(self, w: WorkloadSpec, index: int):
+        cluster = self.cluster
+        assert cluster is not None
+        name = w.name or f"{self.spec.name}.{w.kind}-{index}"
+        params = dict(w.params)
+        if w.kind == "message":
+            return MessageStream(
+                cluster, w.src, w.dst, interval_ns=params.pop("interval_ns", 0),
+                count=w.count, channel=w.channel, name=name, reliable=w.reliable,
+                **params,
+            )
+        if w.kind == "file":
+            return FileStream(
+                cluster, w.src, w.dst,
+                chunk_bytes=params.pop("chunk_bytes", 2048),
+                count=w.count, interval_ns=params.pop("interval_ns", 0),
+                channel=w.channel, name=name, **params,
+            )
+        if w.kind == "broadcast":
+            return AllToAllBroadcast(cluster, count_per_node=w.count,
+                                     channel=w.channel)
+        if w.kind == "poisson":
+            return PoissonStream(
+                cluster, w.src, w.dst,
+                mean_interval_ns=params.pop("mean_interval_ns"),
+                count=w.count, channel=w.channel, name=name,
+                reliable=w.reliable, **params,
+            )
+        if w.kind == "inhomogeneous_poisson":
+            profile = self._build_profile(params.pop("profile"))
+            return InhomogeneousPoissonStream(
+                cluster, w.src, w.dst,
+                peak_interval_ns=params.pop("peak_interval_ns"),
+                profile=profile, count=w.count, channel=w.channel,
+                name=name, reliable=w.reliable, **params,
+            )
+        if w.kind == "burst":
+            return BurstStream(
+                cluster, w.src, w.dst,
+                burst_mean=params.pop("burst_mean"),
+                intra_gap_ns=params.pop("intra_gap_ns"),
+                off_mean_ns=params.pop("off_mean_ns"),
+                count=w.count, channel=w.channel, name=name,
+                reliable=w.reliable, **params,
+            )
+        raise ValueError(f"unknown workload kind {w.kind!r}")  # pragma: no cover
+
+    def _build_profile(self, profile_spec) -> Callable[[int], float]:
+        """Resolve a declarative rate profile; tour-relative windows are
+        anchored at ring-up so profiles track the protocol timeline."""
+        if callable(profile_spec):
+            return profile_spec
+        cluster = self.cluster
+        assert cluster is not None
+        tour = cluster.tour_estimate_ns
+        spec = dict(profile_spec)
+        shape = spec.pop("shape")
+        if shape == "sinusoidal":
+            period_ns = int(spec.pop("period_tours") * tour)
+            base = sinusoidal_profile(period_ns, **spec)
+            origin = self.ring_up_ns
+            return lambda t_ns: base(t_ns - origin)
+        if shape == "ramp":
+            start_ns = self.ring_up_ns + int(spec.pop("start_tours") * tour)
+            end_ns = self.ring_up_ns + int(spec.pop("end_tours") * tour)
+            return ramp_profile(start_ns, end_ns, **spec)
+        raise ValueError(f"unknown profile shape {shape!r}")
+
+    def _expected_deliveries(self, workload) -> Tuple[int, int]:
+        """(delivered, expected) for one workload object."""
+        if isinstance(workload, AllToAllBroadcast):
+            return workload.total_delivered(), workload.expected_deliveries()
+        expected = workload.count
+        if getattr(workload, "dst", None) == BROADCAST:
+            expected *= len(self.cluster.nodes) - 1
+        return workload.stats.delivered, expected
+
+    def _workloads_complete(self) -> bool:
+        return all(
+            delivered >= expected
+            for delivered, expected in map(self._expected_deliveries, self.workloads)
+        )
+
+    def _settled(self) -> bool:
+        """True once every settling condition the spec cares about holds:
+        offered work delivered, and (when the spec asserts on it) gossip
+        views matching ground truth."""
+        if not self._workloads_complete():
+            return False
+        if "membership_view_consistent" in self.spec.invariants:
+            if not self.cluster.membership_converged(dead=self.spec.expect_dead):
+                return False
+        return True
+
+    # ------------------------------------------------------------ verdicts
+    def _judge(self) -> ScenarioResult:
+        spec = self.spec
+        cluster = self.cluster
+        assert cluster is not None
+        streams: List[Dict[str, Any]] = []
+        offered = delivered = 0
+        for workload in self.workloads:
+            if isinstance(workload, AllToAllBroadcast):
+                for stats in workload.stats.values():
+                    streams.append(stats.as_dict())
+                    offered += stats.offered
+                    delivered += stats.delivered
+            else:
+                stats = workload.stats
+                streams.append(stats.as_dict())
+                offered += stats.offered
+                delivered += stats.delivered
+
+        result = ScenarioResult(
+            name=spec.name,
+            seed=self.seed,
+            tour_ns=cluster.tour_estimate_ns,
+            ring_up_ns=self.ring_up_ns,
+            end_ns=cluster.sim.now,
+            streams=streams,
+            counters={
+                "offered": offered,
+                "delivered": delivered,
+                "ring_drops": ring_drop_count(cluster),
+                "trace_records": len(cluster.tracer.records),
+                "faults_fired": sum(
+                    1 for r in cluster.tracer.records if r.category == "fault"
+                ),
+            },
+            convergence=self._convergence_summary(),
+            trace_digest=trace_digest(cluster.tracer),
+        )
+        for inv_name in spec.invariants:
+            result.invariants.append(_INVARIANTS[inv_name](self))
+        return result
+
+    def _convergence_summary(self) -> Dict[str, float]:
+        cluster = self.cluster
+        assert cluster is not None
+        if not self.spec.membership:
+            return {}
+        out: Dict[str, float] = dict(cluster.membership_overhead())
+        detects = [
+            cluster.convergence.time_to_detect(peer, "DEAD")
+            for peer in set(
+                r.data.get("peer")
+                for r in cluster.tracer.select(category="membership")
+                if r.data.get("status") == "DEAD"
+            )
+        ]
+        detects = [d for d in detects if d is not None]
+        if detects:
+            out["first_dead_detect_ns"] = float(min(detects))
+        return out
+
+    # ------------------------------------------------------------ invariants
+    def _live_expected(self) -> set:
+        assert self.cluster is not None
+        return set(self.cluster.nodes) - set(self.spec.expect_dead)
+
+    def _check_no_drops(self) -> InvariantResult:
+        drops = ring_drop_count(self.cluster)
+        return InvariantResult(
+            "no_drops", drops == 0,
+            "" if drops == 0 else f"{drops} frames dropped in the data plane",
+        )
+
+    def _check_all_delivered(self) -> InvariantResult:
+        missing = []
+        for workload in self.workloads:
+            got, expected = self._expected_deliveries(workload)
+            if got < expected:
+                label = (
+                    workload.stats.name
+                    if hasattr(workload, "stats") and not isinstance(workload, AllToAllBroadcast)
+                    else type(workload).__name__
+                )
+                missing.append(f"{label}: {got}/{expected}")
+        return InvariantResult(
+            "all_delivered", not missing,
+            "" if not missing else "; ".join(missing),
+        )
+
+    def _check_roster_converged(self) -> InvariantResult:
+        cluster = self.cluster
+        if not cluster.all_rings_up():
+            return InvariantResult(
+                "roster_converged", False, "ring not up on every live node"
+            )
+        roster = cluster.current_roster()
+        members = set(roster.members)
+        expected = self._live_expected()
+        ok = members == expected
+        return InvariantResult(
+            "roster_converged", ok,
+            "" if ok else f"roster {sorted(members)} != expected {sorted(expected)}",
+        )
+
+    def _check_membership_view(self) -> InvariantResult:
+        cluster = self.cluster
+        ok = cluster.membership_converged(dead=self.spec.expect_dead)
+        return InvariantResult(
+            "membership_view_consistent", ok,
+            "" if ok else "gossip views disagree with ground truth",
+        )
+
+
+_INVARIANTS: Dict[str, Callable[[ScenarioRunner], InvariantResult]] = {
+    "no_drops": ScenarioRunner._check_no_drops,
+    "all_delivered": ScenarioRunner._check_all_delivered,
+    "roster_converged": ScenarioRunner._check_roster_converged,
+    "membership_view_consistent": ScenarioRunner._check_membership_view,
+}
+
+
+def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
+    """One-call convenience: build, run and judge ``spec``."""
+    return ScenarioRunner(spec, seed=seed).run()

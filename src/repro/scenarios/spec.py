@@ -1,0 +1,249 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is plain data: topology shape, a workload mix,
+a fault storyline, membership configuration and a run horizon, with all
+times expressed in **ring tours** so the same scenario scales across
+fibre lengths and node counts.  The :mod:`repro.scenarios.runner` turns
+a spec into a live cluster, runs it, and checks the spec's invariants.
+
+Keeping specs declarative buys three things the hand-wired experiment
+scripts never had:
+
+* every experiment setup is serialisable (``to_dict``) and lands in the
+  machine-readable bench JSON next to its results;
+* scenarios compose — the library in :mod:`repro.scenarios.library`
+  covers quiet rings to 64-node partitioned storms with the same few
+  dataclasses;
+* runs are replayable — spec + seed pins the whole timeline, which the
+  golden-trace regression suite exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..cluster import AmpNetCluster, ClusterConfig
+from ..faults import FaultSchedule
+
+__all__ = ["TopologySpec", "WorkloadSpec", "FaultSpec", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Physical shape of the segment under test."""
+
+    n_nodes: int = 6
+    n_switches: int = 4
+    fiber_m: float = 50.0
+
+
+#: Workload kinds the runner knows how to instantiate.
+WORKLOAD_KINDS = (
+    "message",
+    "file",
+    "broadcast",
+    "poisson",
+    "inhomogeneous_poisson",
+    "burst",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One traffic source in the mix.
+
+    ``params`` carries the kind-specific knobs (see
+    :mod:`repro.workloads`):
+
+    ``message``                  ``interval_ns``
+    ``file``                     ``chunk_bytes``, ``interval_ns``
+    ``broadcast``                (none — ``count`` is per node)
+    ``poisson``                  ``mean_interval_ns``
+    ``inhomogeneous_poisson``    ``peak_interval_ns`` and a ``profile``
+                                 mapping: ``{"shape": "sinusoidal",
+                                 "period_tours": ..., "floor": ...}`` or
+                                 ``{"shape": "ramp", "start_tours": ...,
+                                 "end_tours": ..., "floor": ...}``
+    ``burst``                    ``burst_mean``, ``intra_gap_ns``,
+                                 ``off_mean_ns``
+
+    ``reliable`` routes unicast payloads through the messenger so they
+    survive ring churn (required for fault scenarios that assert full
+    delivery).
+    """
+
+    kind: str
+    count: int
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    channel: int = 0
+    name: Optional[str] = None
+    reliable: bool = False
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"expected one of {WORKLOAD_KINDS}"
+            )
+        if self.count < 1:
+            raise ValueError("workload count must be >= 1")
+        if self.kind == "broadcast":
+            # Every field the runner would silently ignore is rejected
+            # here, so a typo'd knob fails at spec build time.
+            if self.src is not None or self.dst is not None:
+                raise ValueError("broadcast workloads take no src/dst "
+                                 "(every node transmits)")
+            if self.reliable:
+                raise ValueError("broadcast workloads cannot be reliable "
+                                 "(raw-MAC drop accounting is their point)")
+            if self.params:
+                raise ValueError(
+                    f"broadcast workloads take no params, got "
+                    f"{sorted(self.params)}"
+                )
+        elif self.src is None or self.dst is None:
+            raise ValueError(f"{self.kind} workload needs src and dst")
+
+
+#: Fault kinds, mirroring the FaultSchedule builder methods.
+FAULT_KINDS = (
+    "cut_link",
+    "restore_link",
+    "fail_switch",
+    "repair_switch",
+    "crash_node",
+    "recover_node",
+    "flap_node",
+    "partition",
+    "heal_partition",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault (or churn train) at a tour-relative instant.
+
+    ``at_tours`` counts from the moment the initial ring certified, so
+    the same storyline lands at the same protocol phase regardless of
+    topology size or fibre length.
+    """
+
+    kind: str
+    at_tours: float
+    node: Optional[int] = None
+    switch: Optional[int] = None
+    #: node ids on side A (partition kinds)
+    nodes: Tuple[int, ...] = ()
+    #: switch ids granted to side A (partition kinds)
+    switches: Tuple[int, ...] = ()
+    #: flap_node train shape
+    flaps: int = 3
+    down_tours: float = 40.0
+    up_tours: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    def add_to(self, sched: FaultSchedule, origin_ns: int, tour_ns: int) -> None:
+        """Append this fault to ``sched`` with tours resolved to ns."""
+        at_ns = origin_ns + int(self.at_tours * tour_ns)
+        if self.kind in ("cut_link", "restore_link"):
+            getattr(sched, self.kind)(at_ns, self.node, self.switch)
+        elif self.kind in ("fail_switch", "repair_switch"):
+            getattr(sched, self.kind)(at_ns, self.switch)
+        elif self.kind in ("crash_node", "recover_node"):
+            getattr(sched, self.kind)(at_ns, self.node)
+        elif self.kind == "flap_node":
+            sched.flap_node(
+                at_ns, self.node, flaps=self.flaps,
+                down_ns=max(1, int(self.down_tours * tour_ns)),
+                up_ns=max(1, int(self.up_tours * tour_ns)),
+            )
+        else:  # partition / heal_partition
+            getattr(sched, self.kind)(at_ns, self.nodes, self.switches)
+
+
+#: Invariant names the runner can check (see runner._INVARIANTS).
+INVARIANT_NAMES = (
+    "no_drops",
+    "all_delivered",
+    "roster_converged",
+    "membership_view_consistent",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible experiment description."""
+
+    name: str
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    seed: int = 0
+    membership: bool = False
+    membership_liveness: bool = False
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    faults: Tuple[FaultSpec, ...] = ()
+    #: main run horizon after ring-up, in ring tours
+    horizon_tours: int = 400
+    #: extra settling time granted while workloads are still completing
+    grace_tours: int = 2000
+    invariants: Tuple[str, ...] = (
+        "no_drops", "all_delivered", "roster_converged",
+    )
+    #: node ids expected to be dead when the run ends (shapes the
+    #: roster_converged and membership_view_consistent checks)
+    expect_dead: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for inv in self.invariants:
+            if inv not in INVARIANT_NAMES:
+                raise ValueError(
+                    f"unknown invariant {inv!r}; expected one of {INVARIANT_NAMES}"
+                )
+        if "membership_view_consistent" in self.invariants and not self.membership:
+            raise ValueError(
+                "membership_view_consistent requires membership=True"
+            )
+        for fault in self.faults:
+            if fault.kind in ("partition", "heal_partition"):
+                if self.topology.n_switches < 2:
+                    raise ValueError("partition scenarios need >= 2 switches")
+
+    # ------------------------------------------------------------- builders
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    def build_cluster(self, seed: Optional[int] = None) -> AmpNetCluster:
+        """Construct the (not yet started) cluster this spec describes."""
+        return AmpNetCluster(
+            config=ClusterConfig(
+                n_nodes=self.topology.n_nodes,
+                n_switches=self.topology.n_switches,
+                fiber_m=self.topology.fiber_m,
+                seed=self.seed if seed is None else seed,
+                membership=self.membership,
+                membership_liveness=self.membership_liveness,
+            )
+        )
+
+    def build_fault_schedule(self, origin_ns: int, tour_ns: int) -> FaultSchedule:
+        """Resolve the tour-relative fault storyline to absolute ns."""
+        sched = FaultSchedule()
+        for fault in self.faults:
+            fault.add_to(sched, origin_ns, tour_ns)
+        return sched
+
+    # ---------------------------------------------------------------- misc
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form, embedded in bench emissions and the CLI."""
+        out = asdict(self)
+        out["workloads"] = [dict(asdict(w), params=dict(w.params))
+                            for w in self.workloads]
+        return out

@@ -151,7 +151,10 @@ class Timeout(Event):
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
-            raise ValueError(f"negative timeout delay {delay!r}")
+            # Fail at schedule time: a negative delay enqueued here would
+            # only surface later as "time ran backwards" deep inside the
+            # kernel, far from the buggy caller.
+            raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
         self._value = value

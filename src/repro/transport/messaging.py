@@ -237,6 +237,14 @@ class Messenger:
             raise ValueError(f"signal channel {channel} already claimed")
         self._signal_handlers[channel] = fn
 
+    def off_message(self, channel: int) -> None:
+        """Release a message channel so a later workload can claim it."""
+        self._message_handlers.pop(channel, None)
+
+    def off_signal(self, channel: int) -> None:
+        """Release a signal channel so a later workload can claim it."""
+        self._signal_handlers.pop(channel, None)
+
     def _on_dma(self, pkt: MicroPacket, frame) -> None:
         assert pkt.dma is not None
         key = (pkt.src, pkt.dma.transfer_id)

@@ -1,4 +1,5 @@
-"""Synthetic workloads: message streams, file streams, broadcast storms."""
+"""Synthetic workloads: message streams, file streams, broadcast storms,
+and seeded stochastic arrival processes."""
 
 from .generators import (
     AllToAllBroadcast,
@@ -7,11 +8,23 @@ from .generators import (
     StreamStats,
     run_slide7_mixed_workload,
 )
+from .stochastic import (
+    BurstStream,
+    InhomogeneousPoissonStream,
+    PoissonStream,
+    ramp_profile,
+    sinusoidal_profile,
+)
 
 __all__ = [
     "AllToAllBroadcast",
+    "BurstStream",
     "FileStream",
+    "InhomogeneousPoissonStream",
     "MessageStream",
+    "PoissonStream",
     "StreamStats",
+    "ramp_profile",
     "run_slide7_mixed_workload",
+    "sinusoidal_profile",
 ]

@@ -5,6 +5,13 @@ data streams — applications sending files next to applications sending
 messages.  These generators drive exactly those traffic classes through
 the public MAC/transport APIs and account for what was offered,
 delivered and dropped, which is all the benchmarks need.
+
+Every generator owns the receive handlers it installs and removes them
+again in :meth:`close`, so several sequential workloads can share one
+cluster without double-counting each other's deliveries.  Stochastic
+arrival processes (Poisson, inhomogeneous Poisson, on/off bursts) build
+on the same machinery in :mod:`repro.workloads.stochastic` by overriding
+the :meth:`MessageStream._gap_ns` hook.
 """
 
 from __future__ import annotations
@@ -40,9 +47,27 @@ class StreamStats:
     def goodput_bits_per_ns(self, span_ns: int) -> float:
         return 8 * self.bytes_delivered / span_ns if span_ns else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary used by the scenario/bench harnesses."""
+        out: Dict[str, float] = {
+            "name": self.name,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "bytes_delivered": self.bytes_delivered,
+        }
+        if self.latency.count:
+            out["latency"] = self.latency.summary()
+        return out
+
 
 class MessageStream:
-    """Fixed-cell DATA messages from one node at a constant rate."""
+    """Fixed-cell DATA messages from one node at a constant rate.
+
+    ``reliable=True`` routes the same payloads through the node's
+    messenger instead of raw MAC cells: deliveries then survive ring
+    teardowns via the messenger's retransmission, which is what fault
+    scenarios need to assert "everything offered arrived".
+    """
 
     def __init__(
         self,
@@ -53,6 +78,7 @@ class MessageStream:
         count: int,
         channel: int = 0,
         name: Optional[str] = None,
+        reliable: bool = False,
     ):
         self.cluster = cluster
         self.src = src
@@ -60,18 +86,44 @@ class MessageStream:
         self.interval_ns = interval_ns
         self.count = count
         self.channel = channel
+        self.reliable = reliable
+        if reliable and dst == BROADCAST:
+            raise ValueError("reliable streams need a unicast destination")
         self.stats = StreamStats(name or f"msg-{src}->{dst}")
-        self._pending: Dict[int, int] = {}
+        #: simulated send instant of every offered packet (tests and the
+        #: stochastic property suite assert on arrival processes)
+        self.tx_times: List[int] = []
+        self._sent_at: Dict[bytes, int] = {}
+        self._rx_nodes: List = []
+        self.closed = False
         self._install_rx()
-        cluster.sim.process(self._tx(), name=self.stats.name)
+        self._proc = cluster.sim.process(self._tx(), name=self.stats.name)
 
+    # ------------------------------------------------------------ receive
     def _install_rx(self) -> None:
+        if self.reliable:
+            self.cluster.nodes[self.dst].messenger.on_message(
+                self.channel, self._rx_reliable
+            )
+            return
         if self.dst == BROADCAST:
             targets = [n for i, n in self.cluster.nodes.items() if i != self.src]
         else:
             targets = [self.cluster.nodes[self.dst]]
         for node in targets:
             node.register_default(self._rx)
+            self._rx_nodes.append(node)
+
+    def close(self) -> None:
+        """Remove every handler this stream installed (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.reliable:
+            self.cluster.nodes[self.dst].messenger.off_message(self.channel)
+        for node in self._rx_nodes:
+            node.unregister_default(self._rx)
+        self._rx_nodes.clear()
 
     def _rx(self, pkt: MicroPacket, frame) -> None:
         if pkt.ptype != MicroPacketType.DATA or pkt.src != self.src:
@@ -83,23 +135,41 @@ class MessageStream:
         if frame.inserted_at is not None:
             self.stats.latency.add(self.cluster.sim.now - frame.inserted_at)
 
+    def _rx_reliable(self, src: int, payload: bytes, channel: int) -> None:
+        if src != self.src:
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += len(payload)
+        start = self._sent_at.pop(payload[:8], None)
+        if start is not None:
+            self.stats.latency.add(self.cluster.sim.now - start)
+
+    # ----------------------------------------------------------- transmit
+    def _gap_ns(self, seq: int) -> int:
+        """Inter-arrival gap after packet ``seq``; hook for stochastic
+        subclasses (must be deterministic given the cluster's seed)."""
+        return self.interval_ns
+
     def _tx(self):
         sim = self.cluster.sim
         node = self.cluster.nodes[self.src]
         for seq in range(self.count):
-            pkt = MicroPacket(
-                ptype=MicroPacketType.DATA,
-                src=self.src,
-                dst=self.dst,
-                channel=self.channel,
-                payload=seq.to_bytes(8, "little"),
-            ).with_seq(seq)
-            node.send(pkt)
-            self.stats.offered += 1
-            if self.interval_ns:
-                yield sim.timeout(self.interval_ns)
+            payload = seq.to_bytes(8, "little")
+            self.tx_times.append(sim.now)
+            if self.reliable:
+                self._sent_at[payload] = sim.now
+                node.messenger.send(self.dst, payload, self.channel)
             else:
-                yield sim.timeout(0)
+                pkt = MicroPacket(
+                    ptype=MicroPacketType.DATA,
+                    src=self.src,
+                    dst=self.dst,
+                    channel=self.channel,
+                    payload=payload,
+                ).with_seq(seq)
+                node.send(pkt)
+            self.stats.offered += 1
+            yield sim.timeout(max(0, self._gap_ns(seq)))
 
 
 class FileStream:
@@ -125,8 +195,16 @@ class FileStream:
         self.channel = channel
         self.stats = StreamStats(name or f"file-{src}->{dst}")
         self._sent_at: Dict[bytes, int] = {}
+        self.closed = False
         cluster.nodes[dst].messenger.on_message(channel, self._rx)
         cluster.sim.process(self._tx(), name=self.stats.name)
+
+    def close(self) -> None:
+        """Release the messenger channel this stream claimed."""
+        if self.closed:
+            return
+        self.closed = True
+        self.cluster.nodes[self.dst].messenger.off_message(self.channel)
 
     def _rx(self, src: int, payload: bytes, channel: int) -> None:
         if src != self.src:
@@ -162,11 +240,24 @@ class AllToAllBroadcast:
         self.channel = channel
         self.stats: Dict[int, StreamStats] = {}
         self.received: Counter = Counter()
+        self.closed = False
+        self._sinks: List = []
         for node_id, node in cluster.nodes.items():
             self.stats[node_id] = StreamStats(f"bcast-{node_id}")
-            node.register_default(self._make_rx(node_id))
+            sink = self._make_rx(node_id)
+            node.register_default(sink)
+            self._sinks.append((node, sink))
         for node_id in cluster.nodes:
             cluster.sim.process(self._tx(node_id), name=f"a2a-{node_id}")
+
+    def close(self) -> None:
+        """Remove every per-node default sink (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for node, sink in self._sinks:
+            node.unregister_default(sink)
+        self._sinks.clear()
 
     def _make_rx(self, me: int):
         def rx(pkt: MicroPacket, frame) -> None:
@@ -227,4 +318,6 @@ def run_slide7_mixed_workload(cluster: "AmpNetCluster", duration_tours: int = 40
         FileStream(cluster, 3, 1, chunk_bytes=2048, count=8, channel=12),
     ]
     cluster.run(until=cluster.sim.now + duration_tours * cluster.tour_estimate_ns)
+    for s in streams:
+        s.close()
     return [s.stats for s in streams]

@@ -1,0 +1,47 @@
+"""Golden-trace regression suite.
+
+Three named scenarios are pinned, under their library seeds, to the
+exact 128-bit digest of their tracer timelines.  Any change to protocol
+timing, event ordering, seeded randomness or tracing content shows up
+here as a digest mismatch — which is the *point*: refactors that claim
+to be behaviour-preserving must reproduce the timeline bit for bit.
+
+Updating a golden value
+-----------------------
+If a change *intentionally* alters the timeline (new trace category,
+protocol timing fix, different gossip schedule...):
+
+1. confirm the new timeline is deterministic::
+
+       PYTHONPATH=src python -m repro.scenarios digest <name> --runs 2
+
+   (the two printed digests must match — the command exits non-zero
+   otherwise);
+2. paste the new digest into ``GOLDEN`` below;
+3. state *why* the timeline legitimately moved in the commit message.
+
+A digest that differs between ``--runs`` repetitions is never a golden
+update — it is a determinism bug.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario
+
+#: scenario name -> (library seed implied) golden timeline digest
+GOLDEN = {
+    "quiet_ring": "a2b978c605fb0c164f4296cdc4cdc9e9",
+    "slide7_mixed": "ac890cbe65fe8727feaa5cb29b1a95d2",
+    "churn_under_load": "a6487d9f33e2ea0132bc2da1cc4df35c",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_timeline_matches_golden_digest(name):
+    result = run_scenario(get_scenario(name))
+    assert result.ok, [i.detail for i in result.failures()]
+    assert result.trace_digest == GOLDEN[name], (
+        f"{name}: timeline digest {result.trace_digest} != golden "
+        f"{GOLDEN[name]} — if this change is intentional, follow the "
+        f"update procedure in this module's docstring"
+    )

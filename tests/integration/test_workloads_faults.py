@@ -154,3 +154,63 @@ def test_traffic_through_fault_storm_is_lossless_end_to_end():
     settle(cluster, tours=600)
     assert len(got) == 10
     assert all(h.delivered.triggered for h in handles)
+
+
+# ------------------------------------------------------- handler lifecycle
+def test_sequential_message_streams_do_not_double_count():
+    """Regression: MessageStream used to leave its default sink installed
+    forever, so a second stream on the same cluster fed the first one's
+    stats too."""
+    cluster = make_cluster()
+    first = MessageStream(cluster, 0, 2, interval_ns=2_000, count=20, channel=0)
+    settle(cluster, tours=120)
+    assert first.stats.delivered == 20
+    first.close()
+
+    second = MessageStream(cluster, 0, 2, interval_ns=2_000, count=20, channel=0)
+    settle(cluster, tours=120)
+    assert second.stats.delivered == 20
+    assert first.stats.delivered == 20  # untouched after close()
+    second.close()
+
+
+def test_alltoall_close_releases_every_sink():
+    cluster = make_cluster()
+    storm = AllToAllBroadcast(cluster, count_per_node=5)
+    settle(cluster, tours=200)
+    assert storm.complete()
+    storm.close()
+    before = {k: v.delivered for k, v in storm.stats.items()}
+
+    rerun = AllToAllBroadcast(cluster, count_per_node=5)
+    settle(cluster, tours=200)
+    assert rerun.complete()
+    assert {k: v.delivered for k, v in storm.stats.items()} == before
+    rerun.close()
+
+
+def test_file_stream_close_frees_messenger_channel():
+    cluster = make_cluster()
+    first = FileStream(cluster, 0, 2, chunk_bytes=512, count=2, channel=11)
+    settle(cluster, tours=200)
+    assert first.stats.delivered == 2
+    first.close()
+    # Without close() this would raise "channel already claimed".
+    second = FileStream(cluster, 1, 2, chunk_bytes=512, count=2, channel=11)
+    settle(cluster, tours=200)
+    assert second.stats.delivered == 2
+    second.close()
+
+
+def test_reliable_stream_survives_ring_churn():
+    """reliable=True rides the messenger: a mid-run link cut loses no
+    offered message."""
+    cluster = make_cluster(n_nodes=6, n_switches=4)
+    tour = cluster.tour_estimate_ns
+    stream = MessageStream(cluster, 1, 4, interval_ns=3_000, count=40,
+                           channel=12, reliable=True)
+    FaultSchedule().cut_link(10 * tour, 1, 0).arm(cluster)
+    settle(cluster, tours=500)
+    assert stream.stats.offered == 40
+    assert stream.stats.delivered == 40
+    stream.close()

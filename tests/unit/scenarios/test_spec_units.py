@@ -1,0 +1,119 @@
+"""Unit tests for the declarative scenario spec layer."""
+
+import pytest
+
+from repro.faults import FaultKind
+from repro.scenarios import (
+    FaultSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+# ------------------------------------------------------------ WorkloadSpec
+def test_unknown_workload_kind_rejected():
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        WorkloadSpec("tsunami", count=1, src=0, dst=1)
+
+
+def test_unicast_workload_requires_endpoints():
+    with pytest.raises(ValueError, match="needs src and dst"):
+        WorkloadSpec("poisson", count=10)
+
+
+def test_broadcast_workload_needs_no_endpoints():
+    WorkloadSpec("broadcast", count=4)
+
+
+def test_zero_count_rejected():
+    with pytest.raises(ValueError, match="count must be"):
+        WorkloadSpec("message", count=0, src=0, dst=1)
+
+
+# --------------------------------------------------------------- FaultSpec
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("meteor_strike", at_tours=1)
+
+
+def test_fault_tours_resolve_against_origin_and_tour():
+    spec = ScenarioSpec(
+        name="t",
+        faults=(
+            FaultSpec("crash_node", at_tours=10, node=2),
+            FaultSpec("cut_link", at_tours=5.5, node=1, switch=0),
+        ),
+    )
+    sched = spec.build_fault_schedule(origin_ns=1_000, tour_ns=100)
+    by_kind = {a.kind: a for a in sched.actions}
+    assert by_kind[FaultKind.CRASH_NODE].at_ns == 1_000 + 10 * 100
+    assert by_kind[FaultKind.CUT_LINK].at_ns == 1_000 + 550
+
+
+def test_flap_fault_expands_to_crash_recover_train():
+    spec = ScenarioSpec(
+        name="t",
+        faults=(FaultSpec("flap_node", at_tours=1, node=3, flaps=2,
+                          down_tours=2, up_tours=3),),
+    )
+    sched = spec.build_fault_schedule(origin_ns=0, tour_ns=1_000)
+    kinds = [a.kind for a in sorted(sched.actions, key=lambda a: a.at_ns)]
+    assert kinds == [
+        FaultKind.CRASH_NODE, FaultKind.RECOVER_NODE,
+        FaultKind.CRASH_NODE, FaultKind.RECOVER_NODE,
+    ]
+
+
+# ------------------------------------------------------------ ScenarioSpec
+def test_unknown_invariant_rejected():
+    with pytest.raises(ValueError, match="unknown invariant"):
+        ScenarioSpec(name="t", invariants=("always_sunny",))
+
+
+def test_membership_invariant_requires_membership():
+    with pytest.raises(ValueError, match="requires membership"):
+        ScenarioSpec(
+            name="t", invariants=("membership_view_consistent",)
+        )
+
+
+def test_partition_requires_two_switches():
+    with pytest.raises(ValueError, match=">= 2 switches"):
+        ScenarioSpec(
+            name="t",
+            topology=TopologySpec(n_nodes=4, n_switches=1),
+            faults=(FaultSpec("partition", at_tours=1, nodes=(0, 1),
+                              switches=(0,)),),
+        )
+
+
+def test_with_seed_returns_reseeded_copy():
+    spec = ScenarioSpec(name="t", seed=1)
+    other = spec.with_seed(42)
+    assert other.seed == 42 and spec.seed == 1
+    assert other.name == spec.name
+
+
+def test_to_dict_is_json_shaped():
+    import json
+
+    spec = ScenarioSpec(
+        name="t",
+        workloads=(
+            WorkloadSpec("poisson", count=3, src=0, dst=1,
+                         params={"mean_interval_ns": 100}),
+        ),
+        faults=(FaultSpec("crash_node", at_tours=1, node=0),),
+    )
+    encoded = json.dumps(spec.to_dict())
+    assert '"poisson"' in encoded and '"crash_node"' in encoded
+
+
+def test_broadcast_rejects_silently_ignorable_fields():
+    with pytest.raises(ValueError, match="no src/dst"):
+        WorkloadSpec("broadcast", count=4, src=0, dst=1)
+    with pytest.raises(ValueError, match="cannot be reliable"):
+        WorkloadSpec("broadcast", count=4, reliable=True)
+    with pytest.raises(ValueError, match="no params"):
+        WorkloadSpec("broadcast", count=4, params={"interval_ns": 5})

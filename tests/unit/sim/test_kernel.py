@@ -43,7 +43,7 @@ def test_timeout_value_passthrough():
 
 def test_negative_timeout_rejected():
     sim = Simulator()
-    with pytest.raises(ValueError):
+    with pytest.raises(SimulationError):
         sim.timeout(-1)
 
 

@@ -136,3 +136,39 @@ def test_strict_mode_spares_failures_with_a_waiter():
     sim.process(failer())
     sim.run()  # the waiter observed it: strict mode must not re-raise
     assert caught == ["handled"]
+
+
+# -------------------------------------------------- negative-delay timeouts
+def test_negative_timeout_fails_at_schedule_time():
+    """A negative delay must raise SimulationError when scheduled, not
+    surface later as a "time ran backwards" heap violation far from the
+    buggy caller."""
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative timeout"):
+        sim.timeout(-1)
+    # Nothing was enqueued: the schedule is still empty.
+    assert sim.peek() is None
+
+
+def test_negative_call_in_fails_at_schedule_time():
+    sim = Simulator()
+    sim.timeout(100)
+    sim.run()
+    with pytest.raises(SimulationError, match="negative timeout"):
+        sim.call_in(-5, lambda: None)
+    assert sim.now == 100
+
+
+def test_negative_timeout_inside_process_fails_loudly():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        try:
+            yield sim.timeout(-7)
+        except SimulationError as exc:
+            seen.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert seen and "negative timeout" in seen[0]

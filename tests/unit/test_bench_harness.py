@@ -1,0 +1,102 @@
+"""Unit tests for the machine-readable benchmark emission schema."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_HARNESS_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "harness.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_harness", _HARNESS_PATH)
+harness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(harness)
+
+
+def good_payload():
+    return harness.bench_payload(
+        exp="F99",
+        title="test emission",
+        params={"n": 4},
+        columns=["a", "b"],
+        rows=[[1, "x"], [2.5, None]],
+        metrics={"total": 3.5},
+        scenarios=[{"name": "s"}],
+        notes="n",
+    )
+
+
+def test_round_trips_through_json():
+    payload = good_payload()
+    harness.validate_payload(json.loads(json.dumps(payload)))
+
+
+def test_schema_version_enforced():
+    payload = good_payload()
+    payload["schema"] = "repro-bench/0"
+    with pytest.raises(harness.BenchSchemaError, match="schema"):
+        harness.validate_payload(payload)
+
+
+def test_missing_required_key_rejected():
+    payload = good_payload()
+    del payload["columns"]
+    with pytest.raises(harness.BenchSchemaError, match="missing required"):
+        harness.validate_payload(payload)
+
+
+def test_unknown_key_rejected():
+    payload = good_payload()
+    payload["timestamp"] = "2026-07-27"  # timestamps break reproducibility
+    with pytest.raises(harness.BenchSchemaError, match="unknown keys"):
+        harness.validate_payload(payload)
+
+
+def test_ragged_rows_rejected():
+    payload = good_payload()
+    payload["rows"].append([1])
+    with pytest.raises(harness.BenchSchemaError, match="cells for"):
+        harness.validate_payload(payload)
+
+
+def test_non_scalar_cell_rejected():
+    payload = good_payload()
+    payload["rows"][0][0] = {"nested": True}
+    with pytest.raises(harness.BenchSchemaError, match="JSON scalar"):
+        harness.validate_payload(payload)
+
+
+def test_bad_exp_identifier_rejected():
+    with pytest.raises(harness.BenchSchemaError, match="identifier"):
+        harness.bench_payload(
+            exp="9F!", title="t", params={}, columns=["a"], rows=[],
+        )
+
+
+def test_write_result_emits_named_file(tmp_path):
+    path = harness.write_result(good_payload(), results_dir=tmp_path)
+    assert path.name == "F99.json"
+    harness.validate_file(path)
+
+
+def test_validate_file_flags_corrupt_json(tmp_path):
+    bad = tmp_path / "F1.json"
+    bad.write_text('{"schema": "repro-bench/1"}')
+    with pytest.raises(harness.BenchSchemaError):
+        harness.validate_file(bad)
+
+
+def test_committed_results_conform():
+    """Every JSON emission checked into benchmarks/results/ must stay
+    schema-valid (they are the repo's perf trajectory)."""
+    results = sorted((_HARNESS_PATH.parent / "results").glob("*.json"))
+    assert results, "no committed bench JSON found"
+    for path in results:
+        harness.validate_file(path)
+
+
+def test_cli_validate_without_targets_is_a_usage_error(capsys):
+    assert harness._main(["validate"]) == 2
+    assert harness._main(["validate", "--all", "extra.json"]) == 2
+    assert harness._main([]) == 2
