@@ -9,13 +9,17 @@ from repro import AmpNetCluster, ClusterConfig
 from repro.analysis import fmt_ns, render_table, ring_drop_count
 from repro.workloads import run_slide7_mixed_workload
 
+import harness
+
+N_NODES = 4
+DURATION_TOURS = 800
+
 
 def run_experiment():
-    cluster = AmpNetCluster(config=ClusterConfig(n_nodes=4, n_switches=2))
+    cluster = AmpNetCluster(config=ClusterConfig(n_nodes=N_NODES, n_switches=2))
     cluster.start()
     cluster.run_until_ring_up()
-    stats = run_slide7_mixed_workload(cluster, duration_tours=800)
-    span = cluster.sim.now
+    stats = run_slide7_mixed_workload(cluster, duration_tours=DURATION_TOURS)
     rows = [
         (
             s.name,
@@ -29,7 +33,7 @@ def run_experiment():
     return rows, stats, ring_drop_count(cluster)
 
 
-def test_f2_multistream_insertion(benchmark, publish):
+def test_f2_multistream_insertion(benchmark, publish, publish_json):
     (rows, stats, drops) = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     # Every concurrent stream made progress and nothing was dropped.
@@ -39,12 +43,31 @@ def test_f2_multistream_insertion(benchmark, publish):
     msg = [s for s in stats if s.name.startswith("msg")]
     assert all(s.delivered == s.offered for s in msg)
 
+    columns = ["Stream", "Offered", "Delivered", "Bytes", "Mean latency"]
     publish(
         "F2",
         render_table(
             "F2 (slide 7): concurrent per-node streams (files + messages)",
-            ["Stream", "Offered", "Delivered", "Bytes", "Mean latency"],
+            columns,
             rows,
         )
         + f"\nRing drops during the run: {drops}",
+    )
+    publish_json(
+        harness.bench_payload(
+            exp="F2",
+            title="Concurrent per-node streams (slide 7 mixed insertion)",
+            params={"n_nodes": N_NODES, "duration_tours": DURATION_TOURS},
+            columns=columns,
+            rows=[list(row) for row in rows],
+            metrics={
+                "ring_drops": drops,
+                "total_offered": sum(s.offered for s in stats),
+                "total_delivered": sum(s.delivered for s in stats),
+                "total_bytes_delivered": sum(s.bytes_delivered for s in stats),
+            },
+            notes="Four streams (two file, two message) inserted "
+                  "concurrently on a four-node ring; message streams must "
+                  "fully drain and the data plane must not drop.",
+        )
     )

@@ -24,7 +24,8 @@ replicated cache region.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+from collections import deque
+from typing import Deque, Dict, Generator, Optional, TYPE_CHECKING
 
 from ..micropacket import Flags, MicroPacket, MicroPacketType
 from ..rostering import Roster
@@ -65,7 +66,7 @@ class SemaphoreService:
         cache.define_region(SEM_REGION, announce=False)
 
         #: home-side FIFO wait queues: sem id -> requester ids
-        self._wait_queues: Dict[int, List[int]] = {}
+        self._wait_queues: Dict[int, Deque[int]] = {}
         #: requester-side pending acquires: sem id -> grant event
         self._pending: Dict[int, Event] = {}
         self.held: set = set()
@@ -170,7 +171,7 @@ class SemaphoreService:
             self.counters.incr("grants")
             self._grant(sem_id, requester)
         else:
-            queue = self._wait_queues.setdefault(sem_id, [])
+            queue = self._wait_queues.setdefault(sem_id, deque())
             if requester not in queue and requester != owner:
                 queue.append(requester)
                 self.counters.incr("queued")
@@ -180,12 +181,12 @@ class SemaphoreService:
         if owner != releaser:
             self.counters.incr("bad_releases")
             return
-        queue = self._wait_queues.get(sem_id, [])
+        queue = self._wait_queues.get(sem_id, deque())
         # Skip waiters that left the roster while queued.
         roster = self.node.roster
         live = set(roster.members) if roster else set()
         while queue:
-            nxt = queue.pop(0)
+            nxt = queue.popleft()
             if nxt in live:
                 self._write_owner(sem_id, nxt)
                 self.counters.incr("grants")

@@ -111,7 +111,11 @@ class AmpNetCluster:
         self._membership_cfg = config.membership_cfg.resolved_for(
             config.n_nodes, self.tour_estimate_ns
         )
-        ampdk_cfg = replace(config.ampdk, tour_estimate_ns=self.tour_estimate_ns)
+        # Heartbeat cadence scales with ring capacity (kept verbatim for
+        # small rings; see AmpDKConfig.resolved_for).
+        ampdk_cfg = config.ampdk.resolved_for(
+            config.n_nodes, self.tour_estimate_ns
+        )
         for node_id in self.topology.node_ids:
             node_cfg = replace(
                 config.node,

@@ -20,7 +20,7 @@ Distributed Kernel".  The pieces modelled here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, TYPE_CHECKING
 
 from ..micropacket import BROADCAST, Flags, MicroPacket, MicroPacketType
@@ -36,12 +36,25 @@ __all__ = ["AmpDK", "AmpDKConfig", "HEARTBEAT_CHANNEL", "CERTIFY_CHANNEL"]
 HEARTBEAT_CHANNEL = 15
 CERTIFY_CHANNEL = 14
 
+#: Wire time of one heartbeat cell (fixed format, ~200 line bits).
+_HB_CELL_NS = 189
+#: Rings up to this size keep the paper's heartbeat numbers verbatim
+#: (every paper-scale topology and benchmark baseline lives below it).
+_HB_VERBATIM_MAX_NODES = 68
+#: Ceiling on the share of line capacity the heartbeat mesh may consume
+#: on larger rings.  Every member's heartbeat crosses every link once
+#: per interval, so the per-link heartbeat load is
+#: ``n * cell_time / interval``.
+_HB_MAX_LINE_SHARE = 0.05
+
 
 @dataclass
 class AmpDKConfig:
     """Distributed-kernel timing knobs."""
 
-    #: Heartbeat broadcast period.
+    #: Heartbeat broadcast period (floor; see :meth:`resolved_for` — at
+    #: production ring sizes the period stretches so heartbeat traffic
+    #: stays a bounded slice of the fabric).
     heartbeat_interval_ns: int = 200_000  # 200 us
     #: Silence threshold before a peer is declared dead (slide 19:
     #: millisecond failure detection).
@@ -57,6 +70,35 @@ class AmpDKConfig:
     #: One ring-tour estimate (installed by the cluster).
     tour_estimate_ns: int = 100_000
     enabled: bool = True
+
+    def resolved_for(self, n_nodes: int, tour_estimate_ns: int) -> "AmpDKConfig":
+        """Scale the heartbeat schedule to the ring's capacity.
+
+        Rings up to ``_HB_VERBATIM_MAX_NODES`` keep the paper's numbers
+        verbatim (200 us beat, 1 ms detection).  On larger rings, n
+        heartbeats crossing every link per interval would otherwise eat
+        the fabric — a 255-node ring beating every 200 us spends ~24% of
+        every link on heartbeats — so the interval is raised until the
+        heartbeat mesh consumes at most ``_HB_MAX_LINE_SHARE`` of line
+        capacity, and the silence timeout and monitor sweep stretch
+        proportionally.  Detection latency degrades gracefully (a few ms
+        at 255 nodes) instead of the data plane collapsing.
+        """
+        if n_nodes <= _HB_VERBATIM_MAX_NODES:
+            return replace(self, tour_estimate_ns=tour_estimate_ns)
+        interval = max(
+            self.heartbeat_interval_ns,
+            int(n_nodes * _HB_CELL_NS / _HB_MAX_LINE_SHARE),
+        )
+        if interval == self.heartbeat_interval_ns:
+            return replace(self, tour_estimate_ns=tour_estimate_ns)
+        return replace(
+            self,
+            heartbeat_interval_ns=interval,
+            heartbeat_timeout_ns=max(self.heartbeat_timeout_ns, 4 * interval),
+            check_interval_ns=max(self.check_interval_ns, interval // 2),
+            tour_estimate_ns=tour_estimate_ns,
+        )
 
 
 class AmpDK:

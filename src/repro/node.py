@@ -21,9 +21,12 @@ from .phys import Port
 from .phys.frame import Frame
 from .ring import FlowControlConfig, RingMAC
 from .rostering import AgentState, Roster, RosterAgent, RosterConfig
-from .sim import Simulator, Tracer
+from .sim import NULL_TRACER, Simulator, Tracer
 
 __all__ = ["AmpNode", "NodeConfig"]
+
+#: Plain-int mirror for the per-frame dispatch test.
+_ROSTERING = int(MicroPacketType.ROSTERING)
 
 
 @dataclass
@@ -52,7 +55,7 @@ class AmpNode:
         self.node_id = node_id
         self.ports = ports
         self.config = config or NodeConfig()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.name = f"node-{node_id}"
         self.failed = False
 
@@ -73,8 +76,15 @@ class AmpNode:
         self.tour_lost_listeners: List[Callable] = []
 
         #: delivery dispatch: (ptype, channel) -> handler; None channel =
-        #: any channel of that type not claimed more specifically.
+        #: any channel of that type not claimed more specifically.  The
+        #: dict is the registration source of truth; deliveries go
+        #: through ``_dispatch``, a precomputed [ptype][channel] table
+        #: with the wildcard fallback already baked in, rebuilt on the
+        #: (rare) register/unregister and consulted on every frame.
         self._handlers: dict = {}
+        self._dispatch: List[List[Optional[Callable]]] = [
+            [None] * 16 for _ in range(len(MicroPacketType))
+        ]
         self._default_sinks: List[Callable[[MicroPacket, Frame], None]] = []
         self.mac.on_deliver = self._deliver
         self.mac.on_tour_complete = self._tour_complete
@@ -135,7 +145,7 @@ class AmpNode:
     def _on_frame(self, frame: Frame, port: Port) -> None:
         if self.failed:
             return
-        if frame.packet.ptype == MicroPacketType.ROSTERING:
+        if frame.packet.ptype == _ROSTERING:
             self.agent.on_cell(frame, port)
         else:
             self.mac.on_frame(frame, port)
@@ -158,13 +168,30 @@ class AmpNode:
     # ------------------------------------------------------------ delivery
     def register_handler(self, ptype: MicroPacketType, channel, handler) -> None:
         """Claim deliveries of ``ptype`` on ``channel`` (None = wildcard)."""
+        if channel is not None and not 0 <= channel <= 0xF:
+            raise ValueError(f"channel {channel} out of range 0..15")
         key = (ptype, channel)
         if key in self._handlers:
             raise ValueError(f"handler already registered for {key}")
         self._handlers[key] = handler
+        self._rebuild_dispatch()
 
     def unregister_handler(self, ptype: MicroPacketType, channel) -> None:
         self._handlers.pop((ptype, channel), None)
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        table = [[None] * 16 for _ in range(len(MicroPacketType))]
+        for (ptype, channel), handler in self._handlers.items():
+            if channel is not None:
+                table[ptype][channel] = handler
+        for (ptype, channel), handler in self._handlers.items():
+            if channel is None:
+                row = table[ptype]
+                for ch in range(16):
+                    if row[ch] is None:
+                        row[ch] = handler
+        self._dispatch = table
 
     def register_default(self, sink) -> None:
         """Receive every delivery no specific handler claimed."""
@@ -183,9 +210,7 @@ class AmpNode:
             pass
 
     def _deliver(self, packet: MicroPacket, frame: Frame) -> None:
-        handler = self._handlers.get((packet.ptype, packet.channel))
-        if handler is None:
-            handler = self._handlers.get((packet.ptype, None))
+        handler = self._dispatch[packet.ptype][packet.channel]
         if handler is not None:
             handler(packet, frame)
             return

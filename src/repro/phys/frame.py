@@ -7,15 +7,25 @@ in a million-packet benchmark would only burn time.  A frame flagged
 ``corrupt`` models line damage: the receiver's CRC check *always* detects
 single-frame corruption (property-tested in the micropacket layer), so
 corrupted frames are counted and discarded on receive, never delivered.
+
+Frames are ``__slots__`` dataclasses touched on every hop of every tour,
+so their protocol state (``hops`` read/written per hop — ~256 times per
+frame on a 128-node tour — plus the messenger's ``msg_tag`` and the
+diagnostic ``origin_mac``) lives in fixed fields rather than a metadata
+dict, whose churn used to dominate the MAC receive path.  (An earlier
+revision also appended every traversed device to a ``path`` tuple — an
+O(tour²) cost per frame that nothing consumed; reconstruct paths from
+the tracer if a debugging session ever needs them.)
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..micropacket import MicroPacket, frame_wire_bits
+from .constants import serialization_ns
 
 __all__ = ["Frame", "frame_for", "IDLE_GAP_SYMBOLS"]
 
@@ -25,7 +35,7 @@ IDLE_GAP_SYMBOLS = 2
 _frame_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One MicroPacket plus its line representation metadata."""
 
@@ -36,18 +46,23 @@ class Frame:
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     #: Simulated time the frame was first inserted onto the ring.
     inserted_at: Optional[int] = None
-    #: Free-form metadata for protocol layers (reassembly hints, payload
-    #: objects whose wire size is modelled by chunk cells, trace tags).
-    meta: Dict[str, Any] = field(default_factory=dict)
-    #: Devices traversed, appended by switches/nodes when tracing is on.
-    path: Tuple[str, ...] = ()
+    #: Ring hops since insertion (maintained by the MAC; orphan scrub).
+    hops: int = 0
+    #: Node id of the MAC that inserted the frame.
+    origin_mac: Optional[int] = None
+    #: Reliable-messenger tag ``(transfer_id, offset)`` for tour-as-ack
+    #: confirmation; None for everything that is not a messenger fragment.
+    msg_tag: Optional[Tuple[int, int]] = None
+    #: Serialization time, precomputed once: every link and every MAC the
+    #: frame crosses charges this, which is twice per ring hop.
+    ser_ns: int = 0
+
+    def __post_init__(self) -> None:
+        self.ser_ns = serialization_ns(self.wire_bits)
 
     def damaged(self) -> "Frame":
         """A copy marked corrupt (CRC will reject it at the receiver)."""
         return replace(self, corrupt=True)
-
-    def hop(self, device: str) -> None:
-        self.path = self.path + (device,)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mark = "!" if self.corrupt else ""

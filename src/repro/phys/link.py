@@ -7,14 +7,28 @@ delay of the fibre run.  A :class:`Fiber` bundles the two directions and
 is the unit of fault injection — cutting a fibre kills both directions,
 loses whatever was in flight, and drops carrier at both ends after the
 hardware debounce time.
+
+The transmitter is an event-driven chain rather than a resumed process:
+each frame costs one dequeue hop, one serialization-end entry and one
+arrival entry — all slim kernel callbacks, no store round-trip and no
+generator machinery.  The chain deliberately mirrors the event-step
+structure of the process it replaced (dequeue one step after enqueue,
+the next frame's dequeue issued at the previous serialization end), so
+same-instant arrivals across links interleave in exactly the order they
+always did — the golden-trace digests pin this.  Loss semantics are
+unchanged: a frame is checked against ``up`` when its serialization
+starts and ends, and an in-flight arrival whose captured epoch is stale
+(every cut bumps the epoch) is light that died mid-flight.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from heapq import heappush
+from typing import Deque, List, Optional
 
-from ..sim import Simulator, Store
-from .constants import CARRIER_DETECT_NS, propagation_ns, serialization_ns
+from ..sim import Callback, Simulator
+from .constants import CARRIER_DETECT_NS, propagation_ns
 from .frame import Frame
 from .port import Port
 
@@ -44,29 +58,67 @@ class SerialLink:
         #: epoch increments on every cut; in-flight deliveries from an
         #: older epoch are discarded (the light went dark mid-flight).
         self._epoch = 0
-        self._tx_queue: Store = Store(sim)
+        self._queue: Deque[Frame] = deque()
+        #: True while the dequeue→serialize chain is running.
+        self._engaged = False
+        #: reusable dequeue entry — stateless, so the same instance can
+        #: sit on the schedule heap any number of times.
+        self._dequeue_cb = Callback(self._dequeue, ())
         self.frames_delivered = 0
         self.frames_lost = 0
-        sim.process(self._transmitter(), name=f"link:{self.name}")
+
+    # The three schedule pushes below are hand-inlined (heappush on the
+    # kernel's queue instead of sim.call_in): every frame on every fibre
+    # passes through here, and at 256-node scale the call_in frames alone
+    # were a measurable slice of the run.
 
     def transmit(self, frame: Frame) -> None:
-        """Queue a frame; the transmitter serializes strictly in order."""
-        self._tx_queue.put(frame)
+        """Queue a frame; serialization is strictly in order at line rate."""
+        self._queue.append(frame)
+        if not self._engaged:
+            self._engaged = True
+            # Dequeue fires one event-step later, like the store get the
+            # old transmitter process woke up on.
+            sim = self.sim
+            heappush(sim._queue, (sim._now, sim._seq, self._dequeue_cb))
+            sim._seq += 1
 
-    def _transmitter(self):
+    def _dequeue(self) -> None:
+        frame = self._queue.popleft()
+        if not self.up:
+            self.frames_lost += 1
+            self._chain()
+            return
         sim = self.sim
-        while True:
-            frame: Frame = yield self._tx_queue.get()
-            if not self.up:
-                self.frames_lost += 1
-                continue
-            # Occupy the transmitter for the serialization time.
-            yield sim.timeout(serialization_ns(frame.wire_bits))
-            if not self.up:
-                self.frames_lost += 1
-                continue
-            epoch = self._epoch
-            sim.call_in(self.prop_ns, lambda f=frame, e=epoch: self._arrive(f, e))
+        heappush(
+            sim._queue,
+            (sim._now + frame.ser_ns, sim._seq, Callback(self._serialized, (frame,))),
+        )
+        sim._seq += 1
+
+    def _serialized(self, frame: Frame) -> None:
+        if not self.up:
+            self.frames_lost += 1
+        else:
+            sim = self.sim
+            heappush(
+                sim._queue,
+                (
+                    sim._now + self.prop_ns,
+                    sim._seq,
+                    Callback(self._arrive, (frame, self._epoch)),
+                ),
+            )
+            sim._seq += 1
+        self._chain()
+
+    def _chain(self) -> None:
+        if self._queue:
+            sim = self.sim
+            heappush(sim._queue, (sim._now, sim._seq, self._dequeue_cb))
+            sim._seq += 1
+        else:
+            self._engaged = False
 
     def _arrive(self, frame: Frame, epoch: int) -> None:
         if not self.up or epoch != self._epoch:
@@ -82,13 +134,13 @@ class SerialLink:
         self.up = False
         self._epoch += 1
         # Receiver sees loss of light after the debounce time.
-        self.sim.call_in(CARRIER_DETECT_NS, lambda: self._sync_carrier(False))
+        self.sim.call_in(CARRIER_DETECT_NS, self._sync_carrier, False)
 
     def go_up(self) -> None:
         if self.up:
             return
         self.up = True
-        self.sim.call_in(CARRIER_DETECT_NS, lambda: self._sync_carrier(True))
+        self.sim.call_in(CARRIER_DETECT_NS, self._sync_carrier, True)
 
     def _sync_carrier(self, up: bool) -> None:
         # Only apply if the state still matches (cut/restore races).

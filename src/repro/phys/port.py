@@ -37,7 +37,13 @@ class Port:
         self.name = name
         self.tx_link: Optional["SerialLink"] = None
         self.rx_link: Optional["SerialLink"] = None
+        #: waitable carrier condition.  Mutate carrier state only through
+        #: :meth:`set_carrier` / :meth:`force_carrier` — they keep this
+        #: gate and the ``carrier_up`` hot-path mirror in lockstep.
         self.carrier = Gate(sim, open_=False)
+        #: plain-bool mirror of ``carrier.is_open`` — read on every send
+        #: and every MAC pick, so it skips the Gate property chain.
+        self.carrier_up = False
         self._on_frame: Optional[FrameHandler] = None
         self._on_carrier: Optional[CarrierHandler] = None
         #: counters kept here so every layer above can read them
@@ -57,10 +63,6 @@ class Port:
     @property
     def connected(self) -> bool:
         return self.tx_link is not None
-
-    @property
-    def carrier_up(self) -> bool:
-        return self.carrier.is_open
 
     # ---------------------------------------------------------------- data
     def send(self, frame: Frame) -> bool:
@@ -91,12 +93,22 @@ class Port:
         """Called by the link layer after the debounce delay."""
         if up == self.carrier_up:
             return
+        self.force_carrier(up)
+        if self._on_carrier is not None:
+            self._on_carrier(up, self)
+
+    def force_carrier(self, up: bool) -> None:
+        """Set carrier state without notifying handlers.
+
+        For fault rigs and tests that need a silent transition; keeps
+        the gate and its hot-path mirror consistent, which ad-hoc
+        ``port.carrier.close()`` calls would not.
+        """
+        self.carrier_up = up
         if up:
             self.carrier.open()
         else:
             self.carrier.close()
-        if self._on_carrier is not None:
-            self._on_carrier(up, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.carrier_up else "down"

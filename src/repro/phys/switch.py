@@ -15,11 +15,12 @@ explore the entire surviving topology in one tour.
 from __future__ import annotations
 
 from collections import OrderedDict
+from heapq import heappush
 from typing import Dict, List, Optional
 
 from ..micropacket import MicroPacketType
 from ..rostering.wire import flood_key
-from ..sim import Counter, Simulator, Tracer
+from ..sim import NULL_TRACER, Callback, Counter, Simulator, Tracer
 from .constants import SWITCH_LATENCY_NS
 from .frame import Frame
 from .link import Fiber
@@ -29,6 +30,9 @@ __all__ = ["Switch"]
 
 #: Remembered flood keys before the oldest is evicted.
 _FLOOD_CACHE_SIZE = 4096
+
+#: Plain-int mirror for the per-frame type test.
+_ROSTERING = int(MicroPacketType.ROSTERING)
 
 
 class Switch:
@@ -48,10 +52,14 @@ class Switch:
         self.switch_id = switch_id
         self.name = f"switch-{switch_id}"
         self.latency_ns = latency_ns
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ports: List[Port] = [
             Port(sim, f"{self.name}.p{i}") for i in range(n_ports)
         ]
+        #: port object -> index, so per-frame forwarding skips list.index
+        self._port_index: Dict[Port, int] = {
+            port: i for i, port in enumerate(self.ports)
+        }
         for port in self.ports:
             port.set_handlers(on_frame=self._on_frame)
         #: ingress port index -> egress port index for ring traffic
@@ -66,7 +74,7 @@ class Switch:
         self.attached_fibers.append(fiber)
 
     def port_index(self, port: Port) -> int:
-        return self.ports.index(port)
+        return self._port_index[port]
 
     # ------------------------------------------------------ configuration
     def configure_ring(self, mapping: Dict[int, int]) -> None:
@@ -100,14 +108,13 @@ class Switch:
     def _on_frame(self, frame: Frame, port: Port) -> None:
         if self.failed:
             return
-        frame.hop(self.name)
-        if frame.packet.ptype == MicroPacketType.ROSTERING:
+        if frame.packet.ptype == _ROSTERING:
             self._flood(frame, port)
         else:
             self._switch(frame, port)
 
     def _switch(self, frame: Frame, port: Port) -> None:
-        ingress = self.port_index(port)
+        ingress = self._port_index[port]
         egress = self.ring_map.get(ingress)
         if egress is None:
             self.counters.incr("no_route_drop")
@@ -117,7 +124,14 @@ class Switch:
             )
             return
         out = self.ports[egress]
-        self.sim.call_in(self.latency_ns, lambda: out.send(frame))
+        # Hand-inlined schedule push: one per forwarded frame (see the
+        # link layer for rationale).
+        sim = self.sim
+        heappush(
+            sim._queue,
+            (sim._now + self.latency_ns, sim._seq, Callback(out.send, (frame,))),
+        )
+        sim._seq += 1
         self.counters.incr("forwarded")
 
     def _flood(self, frame: Frame, port: Port) -> None:
@@ -128,12 +142,12 @@ class Switch:
         self._flood_seen[key] = None
         if len(self._flood_seen) > _FLOOD_CACHE_SIZE:
             self._flood_seen.popitem(last=False)
-        ingress = self.port_index(port)
+        ingress = self._port_index[port]
         fanout = 0
         for idx, out in enumerate(self.ports):
             if idx == ingress or not out.carrier_up:
                 continue
-            self.sim.call_in(self.latency_ns, lambda o=out: o.send(frame))
+            self.sim.call_in(self.latency_ns, out.send, frame)
             fanout += 1
         self.counters.incr("flooded", fanout)
         self.tracer.record(

@@ -22,19 +22,25 @@ an all-to-all broadcast storm.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from heapq import heappush
+from typing import Callable, Deque, Dict, List, Optional
 
-from ..micropacket import Flags, MicroPacket
-from ..phys import NODE_TRANSIT_NS, Port, frame_for, serialization_ns
+from ..micropacket import BROADCAST, Flags, MicroPacket
+from ..phys import NODE_TRANSIT_NS, Port, frame_for
 from ..phys.frame import Frame
 from ..rostering.roster import Roster
-from ..sim import Counter, Event, Gate, LatencyStat, Simulator, Tracer
+from ..sim import Callback, Counter, Gate, LatencyStat, Simulator, Tracer
+from ..sim.monitor import NULL_TRACER
 from .flow_control import FlowControlConfig, InsertionController
 
 __all__ = ["RingMAC"]
 
 DeliverFn = Callable[[MicroPacket, Frame], None]
 FrameFn = Callable[[Frame], None]
+
+#: Plain-int mirror of Flags.PRIORITY for the per-hop flag test.
+_PRIORITY = int(Flags.PRIORITY)
 
 
 class RingMAC:
@@ -52,7 +58,7 @@ class RingMAC:
         self.node_id = node_id
         self.ports = ports
         self.config = config or FlowControlConfig()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.name = f"mac-{node_id}"
 
         self.roster: Optional[Roster] = None
@@ -62,12 +68,27 @@ class RingMAC:
         #: PRIORITY-flagged transit frames (kernel heartbeats, roster
         #: certification, semaphore grants) overtake data in transit so a
         #: broadcast storm cannot starve the distributed kernel.
-        self._transit_priority: List[Frame] = []
-        self._transit: List[Frame] = []
-        self._insertion: List[Frame] = []
-        self._priority_insertion: List[Frame] = []
+        self._transit_priority: Deque[Frame] = deque()
+        self._transit: Deque[Frame] = deque()
+        self._insertion: Deque[Frame] = deque()
+        self._priority_insertion: Deque[Frame] = deque()
         self._outstanding: Dict[int, Frame] = {}
-        self._wakeup: Optional[Event] = None
+
+        # Transmit engine state (event-driven; see _tx_step).  ``_tx_busy``
+        # covers the insertion-register + serialization occupancy window;
+        # ``_tx_scheduled`` means a pick is already enqueued for this
+        # instant; ``_pace_gen`` invalidates stale pacing timers.
+        self._tx_busy = False
+        self._tx_scheduled = False
+        self._pace_gen = 0
+        # Per-roster caches, refreshed on install: the ring-open flag
+        # mirrors the gate, and the tx port / ring size replace an O(n)
+        # roster index lookup plus a property chain per transmitted frame.
+        self._ring_open = False
+        self._ring_size = 0
+        self._tx_port: Optional[Port] = None
+        #: reusable pick entry (stateless; may recur on the heap)
+        self._tx_step_cb = Callback(self._tx_step, ())
 
         #: upward delivery (set by the node's transport layer)
         self.on_deliver: Optional[DeliverFn] = None
@@ -78,7 +99,6 @@ class RingMAC:
 
         self.counters = Counter()
         self.delivery_latency = LatencyStat()
-        sim.process(self._tx_loop(), name=f"{self.name}.tx")
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -93,14 +113,23 @@ class RingMAC:
             return
         self.roster = roster
         self.controller.ring_installed(roster.size)
+        self._ring_size = roster.size
+        self._tx_port = (
+            self.ports[roster.hop_switch_from(self.node_id)]
+            if roster.size >= 2 else None
+        )
         self.ring_gate.open()
+        self._ring_open = True
         self.counters.incr("roster_installs")
         self._kick()
 
     def teardown(self, reason: str = "") -> None:
         """Ring down: stop forwarding, surrender in-flight accounting."""
         self.ring_gate.close()
+        self._ring_open = False
         self.roster = None
+        self._ring_size = 0
+        self._tx_port = None
         flushed = len(self._transit) + len(self._transit_priority)
         if flushed:
             self.counters.incr("transit_flushed", flushed)
@@ -120,7 +149,7 @@ class RingMAC:
     def send(self, packet: MicroPacket) -> Frame:
         """Queue a locally originated packet for insertion."""
         frame = frame_for(packet)
-        frame.meta["origin_mac"] = self.node_id
+        frame.origin_mac = self.node_id
         if packet.flags & Flags.PRIORITY:
             self._priority_insertion.append(frame)
         else:
@@ -137,35 +166,79 @@ class RingMAC:
     def transit_depth(self) -> int:
         return len(self._transit) + len(self._transit_priority)
 
-    def _kick(self) -> None:
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+    # The transmit engine is an event-driven state machine rather than a
+    # resumed generator: a frame hop costs exactly two slim schedule
+    # entries (insertion-register latency, then the serialization hold) —
+    # no generator frames, no wakeup Event allocations, no AnyOf per
+    # pacing nap.  Timing is identical to the old process loop: a kick
+    # wakes the engine one event-step later (so same-instant arrivals
+    # still compete for priority before the pick), the pick after a
+    # serialization hold happens inside the hold's own event, and pacing
+    # timers wake through the same extra hop the AnyOf used to add.
 
-    def _tx_loop(self):
+    def _kick(self) -> None:
+        if self._tx_busy or self._tx_scheduled or not self._ring_open:
+            return
+        self._tx_scheduled = True
+        # Hand-inlined schedule push (see the link layer for rationale).
         sim = self.sim
-        while True:
-            if not self.ring_gate.is_open:
-                yield self.ring_gate.wait_open()
-                continue
-            frame, inserted = self._pick_frame()
-            if frame is None:
-                self._wakeup = sim.event()
-                gap_end = self.controller.earliest_insert()
-                if self.insertion_backlog and gap_end > sim.now and not (
-                    self.controller.window_full()
-                ):
-                    # Pacing gap: sleep until it ends, but let transit
-                    # arrivals (or ring changes) preempt the nap.
-                    yield sim.any_of([self._wakeup, sim.timeout(gap_end - sim.now)])
-                else:
-                    yield self._wakeup
-                self._wakeup = None
-                continue
-            # Insertion-register latency, then occupy the transmitter.
-            yield sim.timeout(NODE_TRANSIT_NS)
-            if not self._transmit(frame, inserted):
-                continue
-            yield sim.timeout(serialization_ns(frame.wire_bits))
+        heappush(sim._queue, (sim._now, sim._seq, self._tx_step_cb))
+        sim._seq += 1
+
+    def _tx_step(self) -> None:
+        self._tx_scheduled = False
+        if not self._ring_open:
+            self._tx_busy = False
+            return
+        frame, inserted = self._pick_frame()
+        if frame is None:
+            self._tx_busy = False
+            sim = self.sim
+            gap_end = self.controller.earliest_insert()
+            backlog = len(self._insertion) + len(self._priority_insertion)
+            if backlog and gap_end > sim._now and not (
+                self.controller.window_full()
+            ):
+                # Pacing gap: wake when it ends unless a kick (transit
+                # arrival, ring change) preempts the nap first.
+                self._pace_gen += 1
+                sim.call_in(gap_end - sim._now, self._pace_fire, self._pace_gen)
+            return
+        # Insertion-register latency, then occupy the transmitter.
+        self._tx_busy = True
+        sim = self.sim
+        heappush(
+            sim._queue,
+            (
+                sim._now + NODE_TRANSIT_NS,
+                sim._seq,
+                Callback(self._tx_emit, (frame, inserted)),
+            ),
+        )
+        sim._seq += 1
+
+    def _tx_emit(self, frame: Frame, inserted: bool) -> None:
+        if self._transmit(frame, inserted):
+            sim = self.sim
+            heappush(
+                sim._queue, (sim._now + frame.ser_ns, sim._seq, self._tx_step_cb)
+            )
+            sim._seq += 1
+        else:
+            # Transmit refused (ring/carrier changed during the register
+            # latency): re-pick immediately within this event.
+            self._tx_step()
+
+    def _pace_fire(self, gen: int) -> None:
+        if gen != self._pace_gen or self._tx_busy or self._tx_scheduled:
+            return  # stale timer: the engine moved on since it was armed
+        if not self._ring_open:
+            return
+        self._tx_scheduled = True
+        self.sim.call_in(0, self._tx_step)
+
+    # NOTE: _tx_emit schedules the post-serialization pick with the same
+    # reusable _tx_step_cb the kick path uses; both are plain heap pushes.
 
     def _pick_frame(self):
         """Transit first, then priority insertions, then data insertions.
@@ -178,21 +251,22 @@ class RingMAC:
         if not self.config.transit_priority:
             # A2 ablation: a greedy NIC that stuffs its own frames first.
             if self._priority_insertion:
-                return self._priority_insertion.pop(0), True
-            if self._insertion and self.controller.may_insert(self.sim.now):
-                return self._insertion.pop(0), True
+                return self._priority_insertion.popleft(), True
+            if self._insertion and self.controller.may_insert(self.sim._now):
+                return self._insertion.popleft(), True
         if self._transit_priority:
-            return self._transit_priority.pop(0), False
-        if self._transit:
-            frame = self._transit.pop(0)
-            self.controller.observe_transit_depth(len(self._transit))
+            return self._transit_priority.popleft(), False
+        transit = self._transit
+        if transit:
+            frame = transit.popleft()
+            self.controller.observe_transit_depth(len(transit))
             return frame, False
         if self._priority_insertion:
-            return self._priority_insertion.pop(0), True
-        if not self.controller.may_insert(self.sim.now):
+            return self._priority_insertion.popleft(), True
+        if not self.controller.may_insert(self.sim._now):
             return None, False
         if self._insertion:
-            return self._insertion.pop(0), True
+            return self._insertion.popleft(), True
         return None, False
 
     def _transmit(self, frame: Frame, inserted: bool) -> bool:
@@ -200,7 +274,7 @@ class RingMAC:
             # Ring went down during the transit latency.
             self._requeue(frame, inserted)
             return False
-        if self.roster.size == 1:
+        if self._ring_size == 1:
             # Singleton ring: no fibre to cross; the "tour" is immediate.
             if inserted:
                 self.counters.incr("tx_inserted")
@@ -208,7 +282,7 @@ class RingMAC:
                 if self.on_tour_complete is not None:
                     self.on_tour_complete(frame)
             return True
-        port = self.ports[self.roster.hop_switch_from(self.node_id)]
+        port = self._tx_port
         if not port.carrier_up:
             # Our active hop just died; rostering will rebuild.  Local
             # frames wait, transit frames are lost with the light.
@@ -218,10 +292,11 @@ class RingMAC:
                 self.counters.incr("transit_lost_carrier")
             return False
         if inserted:
-            frame.inserted_at = self.sim.now
-            frame.meta["hops"] = 0
+            now = self.sim._now
+            frame.inserted_at = now
+            frame.hops = 0
             self._outstanding[frame.frame_id] = frame
-            self.controller.inserted(self.sim.now)
+            self.controller.inserted(now)
             self.counters.incr("tx_inserted")
         else:
             self.counters.incr("tx_transit")
@@ -231,58 +306,60 @@ class RingMAC:
     def _requeue(self, frame: Frame, inserted: bool) -> None:
         if inserted:
             if frame.packet.flags & Flags.PRIORITY:
-                self._priority_insertion.insert(0, frame)
+                self._priority_insertion.appendleft(frame)
             else:
-                self._insertion.insert(0, frame)
+                self._insertion.appendleft(frame)
         # transit frames are dropped by the caller's accounting
 
     # ------------------------------------------------------------------- rx
     def on_frame(self, frame: Frame, port: Port) -> None:
         """Entry point for ring traffic arriving from the physical layer."""
-        if not self.ring_gate.is_open or self.roster is None:
-            self.counters.incr("rx_ring_down_drop")
+        counters = self.counters
+        if not self._ring_open or self.roster is None:
+            counters.incr("rx_ring_down_drop")
             return
         pkt = frame.packet
-        frame.hop(self.name)
 
         if pkt.src == self.node_id:
             # Source strip: the frame completed its tour of the ring.
             done = self._outstanding.pop(frame.frame_id, None)
             if done is not None:
                 self.controller.tour_completed()
-                self.counters.incr("tours_completed")
+                counters.incr("tours_completed")
                 if self.on_tour_complete is not None:
                     self.on_tour_complete(frame)
                 # The freed window slot may unblock a queued insertion.
                 self._kick()
             else:
-                self.counters.incr("stale_strip")
+                counters.incr("stale_strip")
             return
 
-        hops = frame.meta.get("hops", 0) + 1
-        frame.meta["hops"] = hops
-        if hops > self.roster.size + 2:
+        hops = frame.hops + 1
+        frame.hops = hops
+        if hops > self._ring_size + 2:
             # Orphan scrub: the inserter left the ring mid-tour.
-            self.counters.incr("orphans_scrubbed")
+            counters.incr("orphans_scrubbed")
             return
 
-        if pkt.is_broadcast or pkt.dst == self.node_id:
-            self.counters.incr("rx_delivered")
+        dst = pkt.dst
+        if dst == BROADCAST or dst == self.node_id:
+            counters.incr("rx_delivered")
             if frame.inserted_at is not None:
-                self.delivery_latency.add(self.sim.now - frame.inserted_at)
+                self.delivery_latency.add(self.sim._now - frame.inserted_at)
             if self.on_deliver is not None:
                 self.on_deliver(pkt, frame)
 
         # Source removal: everything keeps circulating back to its source.
-        if self.transit_depth >= self.config.transit_capacity:
-            self.counters.incr("transit_overflow_drop")
+        transit = self._transit
+        if len(transit) + len(self._transit_priority) >= self.config.transit_capacity:
+            counters.incr("transit_overflow_drop")
             self.tracer.record(
                 self.sim.now, "transit_drop", self.name, packet=pkt.describe(),
             )
             return
-        if pkt.flags & Flags.PRIORITY:
+        if pkt.flags & _PRIORITY:
             self._transit_priority.append(frame)
         else:
-            self._transit.append(frame)
-            self.controller.observe_transit_depth(len(self._transit))
+            transit.append(frame)
+            self.controller.observe_transit_depth(len(transit))
         self._kick()

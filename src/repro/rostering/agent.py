@@ -39,7 +39,7 @@ from typing import Callable, Dict, List, Optional, Set
 from ..micropacket import MicroPacket
 from ..phys import Port
 from ..phys.frame import Frame, frame_for
-from ..sim import Counter, Simulator, Tracer
+from ..sim import NULL_TRACER, Counter, Simulator, Tracer
 from .roster import Roster, compute_roster
 from .wire import (
     CommitAssembler,
@@ -93,7 +93,7 @@ class RosterAgent:
         self.node_id = node_id
         self.ports = ports
         self.config = config or RosterConfig()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.name = f"roster-{node_id}"
 
         self.state = AgentState.DOWN

@@ -210,6 +210,64 @@ def large_ring_64() -> ScenarioSpec:
     )
 
 
+def large_ring_128() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="large_ring_128",
+        description="Production-scale check: a 128-node ring carrying a "
+                    "heavy-tailed (bounded-Pareto) reliable stream next "
+                    "to bursty and constant traffic; full delivery, no "
+                    "drops, one roster.",
+        topology=TopologySpec(n_nodes=128, n_switches=2),
+        seed=7,
+        workloads=(
+            # A 128-node tour is ~142 us and the insertion window at this
+            # scale is one frame per node, so offered rates sit at tour
+            # scale; the Pareto stream's rare multi-kilobyte messages
+            # fragment into cell trains that stress the insertion queue.
+            WorkloadSpec("poisson", count=16, src=0, dst=64, channel=12,
+                         reliable=True,
+                         params={"mean_interval_ns": 55_000,
+                                 "pareto_sizes": {"alpha": 1.3,
+                                                  "min_bytes": 16,
+                                                  "cap_bytes": 1024}}),
+            WorkloadSpec("burst", count=14, src=31, dst=96, channel=1,
+                         params={"burst_mean": 5, "intra_gap_ns": 4_000,
+                                 "off_mean_ns": 120_000}),
+            WorkloadSpec("message", count=12, src=5, dst=100, channel=2,
+                         params={"interval_ns": 70_000}),
+        ),
+        horizon_tours=60,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
+def large_ring_256() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="large_ring_256",
+        description="The 256-class scale point: 255 nodes, the "
+                    "architectural ceiling of the 8-bit MicroPacket "
+                    "address space (id 255 is broadcast; slide 15 scales "
+                    "further via router-joined segments).  Light unicast "
+                    "load proves ring-up, insertion and full delivery at "
+                    "the maximum addressable ring size.",
+        topology=TopologySpec(n_nodes=255, n_switches=2),
+        seed=7,
+        workloads=(
+            # At 255 nodes the insertion window is one frame per node, so
+            # a stream drains at ~1 message per tour; the horizon is sized
+            # for the run to settle *within* it (the runner's grace slices
+            # are 50 tours — a whole extra slice at this scale is the
+            # difference between a cheap test and a slow one).
+            WorkloadSpec("poisson", count=8, src=0, dst=128, channel=0,
+                         params={"mean_interval_ns": 120_000}),
+            WorkloadSpec("message", count=6, src=60, dst=200, channel=1,
+                         params={"interval_ns": 150_000}),
+        ),
+        horizon_tours=18,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -221,6 +279,8 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         churn_under_load,
         partition_heal_under_load,
         large_ring_64,
+        large_ring_128,
+        large_ring_256,
     )
 }
 

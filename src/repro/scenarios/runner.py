@@ -33,6 +33,7 @@ from ..workloads import (
     InhomogeneousPoissonStream,
     MessageStream,
     PoissonStream,
+    pareto_size_fn,
     ramp_profile,
     sinusoidal_profile,
 )
@@ -112,22 +113,41 @@ class ScenarioResult:
 
 
 class ScenarioRunner:
-    """Build, run and judge one scenario."""
+    """Build, run and judge one scenario.
 
-    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None):
+    ``phase_hook`` (when given) is called with a phase label at each
+    lifecycle boundary — ``"built"``, ``"ring_up"``, ``"armed"``,
+    ``"horizon"``, ``"settled"`` — which is how the :mod:`repro.perf`
+    probe and the P1 bench window their measurements without duplicating
+    the run logic.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: Optional[int] = None,
+        phase_hook: Optional[Callable[[str], None]] = None,
+    ):
         self.spec = spec
         self.seed = spec.seed if seed is None else seed
         self.cluster: Optional[AmpNetCluster] = None
         self.workloads: List[Any] = []
         self.ring_up_ns = 0
+        self._phase_hook = phase_hook
+
+    def _phase(self, label: str) -> None:
+        if self._phase_hook is not None:
+            self._phase_hook(label)
 
     # ----------------------------------------------------------- lifecycle
     def run(self) -> ScenarioResult:
         spec = self.spec
         cluster = self.cluster = spec.build_cluster(seed=self.seed)
+        self._phase("built")
         cluster.start()
         self.ring_up_ns = cluster.run_until_ring_up()
         tour = cluster.tour_estimate_ns
+        self._phase("ring_up")
 
         self.workloads = [
             self._build_workload(w, index) for index, w in enumerate(spec.workloads)
@@ -135,8 +155,10 @@ class ScenarioRunner:
         sched = spec.build_fault_schedule(self.ring_up_ns, tour)
         if sched.actions:
             sched.arm(cluster)
+        self._phase("armed")
 
         cluster.run(until=self.ring_up_ns + spec.horizon_tours * tour)
+        self._phase("horizon")
         # Grace: bursty arrivals, post-fault retransmissions and epidemic
         # reconciliation may need longer than the nominal horizon; extend
         # in slices until the run is settled (or grace runs out).
@@ -144,6 +166,7 @@ class ScenarioRunner:
         step = max(50 * tour, 1)
         while not self._settled() and cluster.sim.now < deadline:
             cluster.run(until=min(cluster.sim.now + step, deadline))
+        self._phase("settled")
 
         for workload in self.workloads:
             workload.close()
@@ -155,6 +178,15 @@ class ScenarioRunner:
         assert cluster is not None
         name = w.name or f"{self.spec.name}.{w.kind}-{index}"
         params = dict(w.params)
+        pareto = params.pop("pareto_sizes", None)
+        if pareto is not None:
+            if w.kind in ("file", "broadcast"):
+                raise ValueError(
+                    f"pareto_sizes is not supported for {w.kind} workloads"
+                )
+            # Sizes draw from their own named stream so they never perturb
+            # the arrival-process randomness of the same workload.
+            params["size_fn"] = pareto_size_fn(cluster, name, **dict(pareto))
         if w.kind == "message":
             return MessageStream(
                 cluster, w.src, w.dst, interval_ns=params.pop("interval_ns", 0),

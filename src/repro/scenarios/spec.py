@@ -71,6 +71,13 @@ class WorkloadSpec:
     ``reliable`` routes unicast payloads through the messenger so they
     survive ring churn (required for fault scenarios that assert full
     delivery).
+
+    Any stream kind except ``file``/``broadcast`` additionally accepts a
+    ``pareto_sizes`` param (``{"alpha": ..., "min_bytes": ...,
+    "cap_bytes": ...}``): payload sizes are then drawn bounded-Pareto
+    from a dedicated ``workload.<name>.sizes`` random stream.  Sized
+    payloads fragment through the messenger, so they require
+    ``reliable=True``.
     """
 
     kind: str

@@ -13,7 +13,7 @@ the contrast the network-cache services are designed to win against.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Deque, Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..micropacket import BROADCAST
 from ..sim import Counter, Event
@@ -77,7 +77,7 @@ class DatagramSocket:
         self.ip = ip
         self.port = port
         self._queue: Deque[Tuple[int, bytes]] = deque()
-        self._waiters: List[Event] = []
+        self._waiters: Deque[Event] = deque()
         self.closed = False
 
     def sendto(self, dst: int, dst_port: int, payload: bytes) -> bool:
@@ -101,7 +101,7 @@ class DatagramSocket:
     def _deliver(self, addr: Tuple[int, int], payload: bytes) -> None:
         self._queue.append((addr, payload))
         if self._waiters:
-            self._waiters.pop(0).succeed()
+            self._waiters.popleft().succeed()
 
     def close(self) -> None:
         self.closed = True

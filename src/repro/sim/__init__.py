@@ -7,21 +7,39 @@ Public surface::
 See :mod:`repro.sim.kernel` for the event-loop semantics.
 """
 
-from .events import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Callback,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
 from .kernel import Simulator, StopSimulation
-from .monitor import ConvergenceTracker, Counter, LatencyStat, TimeSeries, Tracer
+from .monitor import (
+    NULL_TRACER,
+    ConvergenceTracker,
+    Counter,
+    LatencyStat,
+    TimeSeries,
+    Tracer,
+)
 from .rand import SeededStreams, derive_seed
 from .resources import Gate, PriorityStore, Resource, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "ConvergenceTracker",
     "Counter",
     "Event",
     "Gate",
     "Interrupt",
     "LatencyStat",
+    "NULL_TRACER",
     "PriorityStore",
     "Process",
     "Resource",

@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .kernel import Simulator
 
 __all__ = [
+    "Callback",
     "Event",
     "Timeout",
     "Process",
@@ -53,6 +54,37 @@ class Interrupt(Exception):
 
 # Sentinel distinguishing "not yet triggered" from a triggered None value.
 _PENDING = object()
+
+
+class Callback:
+    """Allocation-light schedule entry: a bare callable on the heap.
+
+    The hot path (link serialization, switch forwarding, the MAC transmit
+    engine) schedules hundreds of thousands of these per run; compared to
+    a :class:`Timeout` plus an appended closure it skips the callback
+    list, the wrapper lambda and the ``succeed`` bookkeeping entirely.
+    Instances cannot be waited on — processes must keep yielding real
+    events — so they carry no trigger state at all.  The class attributes
+    below satisfy the kernel's ``step()`` contract (nothing ever observes
+    a failure on a Callback: an exception in ``fn`` propagates out of the
+    event loop exactly as an unhandled callback error always did).
+    """
+
+    __slots__ = ("fn", "args")
+
+    callbacks: tuple = ()  # step() sees "no waiters"
+    _ok = True             # never enters the strict failure path
+    processed = False      # inspectable, never flipped (one-shot fire)
+
+    def __init__(self, fn: Callable[..., Any], args: tuple):
+        self.fn = fn
+        self.args = args
+
+    def _process(self) -> None:
+        self.fn(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Callback {getattr(self.fn, '__qualname__', self.fn)!r}>"
 
 
 class Event:

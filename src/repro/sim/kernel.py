@@ -21,10 +21,15 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Process, SimulationError, Timeout
 from .rand import SeededStreams
 
 __all__ = ["Simulator", "StopSimulation"]
+
+#: Schedule seq reserved for run()'s horizon sentinel: sorts after every
+#: real entry at the same instant (real seqs grow from zero and cannot
+#: plausibly reach 2**63 in one process).
+_HORIZON_SEQ = 2 ** 63
 
 
 class StopSimulation(Exception):
@@ -54,6 +59,15 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self.strict = strict
         self.rng = SeededStreams(seed)
+        #: total schedule entries processed; the kernel's throughput unit
+        #: (see :mod:`repro.perf`).  Always maintained — an int bump per
+        #: event is noise next to the heap operation.
+        self.events_processed: int = 0
+        #: optional observer called with each processed entry.  Purely
+        #: read-only accounting (per-kind/per-layer event counts); it MUST
+        #: NOT mutate simulation state, so enabling it cannot change the
+        #: event sequence — a property the determinism tests pin.
+        self.on_event: Optional[Callable[[Any], None]] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -89,23 +103,37 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def call_at(self, time: int, fn: Callable[[], None]) -> Event:
-        """Run ``fn`` at absolute simulated ``time`` (>= now)."""
+    def call_at(self, time: int, fn: Callable[..., None], *args: Any) -> Callback:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (>= now).
+
+        This is the allocation-light scheduling path: one slim
+        :class:`~repro.sim.events.Callback` goes straight onto the heap —
+        no intermediate Timeout, wrapper lambda or callback list.  The
+        returned handle cannot be yielded on; processes that need to wait
+        should use :meth:`timeout`.
+        """
         if time < self._now:
             raise SimulationError(f"call_at({time}) is in the past (now={self._now})")
-        ev = self.timeout(time - self._now)
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _ev: fn())
-        return ev
+        cb = Callback(fn, args)
+        heapq.heappush(self._queue, (time, self._seq, cb))
+        self._seq += 1
+        return cb
 
-    def call_in(self, delay: int, fn: Callable[[], None]) -> Event:
-        """Run ``fn`` after ``delay`` ns."""
-        ev = self.timeout(delay)
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _ev: fn())
-        return ev
+    def call_in(self, delay: int, fn: Callable[..., None], *args: Any) -> Callback:
+        """Run ``fn(*args)`` after ``delay`` ns (see :meth:`call_at`)."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        cb = Callback(fn, args)
+        heapq.heappush(self._queue, (self._now + delay, self._seq, cb))
+        self._seq += 1
+        return cb
 
     # ------------------------------------------------------------- scheduling
+    # CONTRACT: the schedule heap holds ``(fire_time, seq, entry)`` with a
+    # monotonically increasing per-push seq.  This exact shape is
+    # hand-inlined (for speed) at the hot-path producers in phys/link.py,
+    # phys/switch.py and ring/mac.py — change it HERE and THERE together,
+    # or event ordering silently corrupts.
     def _enqueue(self, event: Event, delay: int = 0) -> None:
         """Put a triggered event on the schedule queue (kernel internal)."""
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
@@ -123,6 +151,9 @@ class Simulator:
         if when < self._now:  # pragma: no cover - heap invariant
             raise SimulationError("time ran backwards")
         self._now = when
+        self.events_processed += 1
+        if self.on_event is not None:
+            self.on_event(event)
         had_waiters = bool(event.callbacks)
         event._process()
         if self.strict and not event._ok and not had_waiters:
@@ -156,23 +187,71 @@ class Simulator:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
+        # Hot loop: step() inlined with locals bound once.  At production
+        # scale (128/256-node rings) the per-event attribute lookups and
+        # the extra frame of a method call are a measurable fraction of
+        # the whole run, so the loop trades a little duplication for it.
+        # A time horizon rides the heap as a sentinel entry (sorting after
+        # every real event at that instant) instead of costing a
+        # peek-and-compare on each iteration.
+        queue = self._queue
+        heappop = heapq.heappop
+        strict = self.strict
+        observer = self.on_event
+        processed = 0
+        callback_type = Callback
+        sentinel: Optional[Callback] = None
+        if stop_time is not None:
+            sentinel = Callback(self._noop, ())
+            heapq.heappush(queue, (stop_time, _HORIZON_SEQ, sentinel))
         try:
-            while self._queue:
-                if stop_time is not None and self._queue[0][0] > stop_time:
+            while queue:
+                when, _seq, event = heappop(queue)
+                if event is sentinel:
                     self._now = stop_time
+                    sentinel = None
                     return None
-                self.step()
+                self._now = when
+                processed += 1
+                if observer is not None:
+                    observer(event)
+                if type(event) is callback_type:
+                    # Slim schedule entry: no waiters, cannot fail softly
+                    # (an exception in fn propagates like any unhandled
+                    # callback error), so skip the Event bookkeeping.
+                    event.fn(*event.args)
+                    continue
+                had_waiters = bool(event.callbacks)
+                event._process()
+                if strict and not event._ok and not had_waiters:
+                    # A failure nobody observed: surface it, don't lose it.
+                    raise event._value
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:
                 return event._value
             raise event._value from None
+        finally:
+            self.events_processed += processed
+            if sentinel is not None and queue:
+                # Exited without consuming the horizon entry (exception
+                # mid-run): pull it back out so a later run() call is not
+                # stopped by a stale horizon.
+                try:
+                    queue.remove((stop_time, _HORIZON_SEQ, sentinel))
+                    heapq.heapify(queue)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
         if stop_time is not None:
             # Queue drained before the horizon: advance the clock anyway so
             # repeated run(until=...) calls observe monotonic time.
             self._now = stop_time
         if isinstance(until, Event) and not until.processed:
             raise SimulationError("run(until=event): schedule drained first")
+        return None
+
+    @staticmethod
+    def _noop() -> None:  # pragma: no cover - horizon sentinel body
         return None
 
     @staticmethod

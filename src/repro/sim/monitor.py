@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "TraceRecord",
     "Tracer",
+    "NULL_TRACER",
     "Counter",
     "TimeSeries",
     "LatencyStat",
@@ -56,6 +57,15 @@ class Tracer:
         """Register a live listener (used by tests asserting on traces)."""
         self._listeners.append(listener)
 
+    def __bool__(self) -> bool:
+        """Truthiness == "will record": the cheap hot-path guard.
+
+        Components sitting on per-frame paths write
+        ``if tracer: tracer.record(...)`` so a disabled tracer costs one
+        truth test instead of a keyword-argument call per frame.
+        """
+        return self.enabled
+
     def record(self, time: int, category: str, source: str, **data: Any) -> None:
         if not self.enabled or category in self._muted:
             return
@@ -84,23 +94,49 @@ class Tracer:
         self.records.clear()
 
 
-class Counter:
-    """Named integer counters with dict-like access."""
+class _NullTracer(Tracer):
+    """Always-off tracer: ``enabled`` reads False and ignores writes.
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+    The shared instance below is bound by every default-constructed
+    device in the process, so it must be impossible to flip on — doing
+    so would silently start recording every device into one list.
+    """
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        pass  # permanently off by design
+
+
+#: Shared disabled tracer: the default for every component that is not
+#: handed a real one, so device construction stops allocating a throwaway
+#: Tracer (plus records list) per NIC/switch/link.
+NULL_TRACER = _NullTracer(enabled=False)
+
+
+class Counter(dict):
+    """Named integer counters with dict-like access.
+
+    A dict subclass rather than a wrapper: ``incr`` is called several
+    times per frame hop on the MAC receive path, and the extra
+    indirection of a wrapped mapping was measurable at 128-node scale.
+    Unset names read as zero.
+    """
 
     def incr(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        self[name] = self[name] + amount
 
-    def __getitem__(self, name: str) -> int:
-        return self._counts.get(name, 0)
+    def __missing__(self, name: str) -> int:
+        return 0
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self._counts)
+        return dict(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self._counts!r})"
+        return f"Counter({dict.__repr__(self)})"
 
 
 class TimeSeries:

@@ -137,8 +137,10 @@ class Messenger:
         self._outgoing: Dict[int, MessageHandle] = {}
         self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
         self._completed: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
-        self._message_handlers: Dict[int, MessageFn] = {}
-        self._signal_handlers: Dict[int, SignalFn] = {}
+        # Per-channel dispatch tables: the channel space is 4 bits, so a
+        # sixteen-slot list replaces dict hashing on every delivery.
+        self._message_handlers: List[Optional[MessageFn]] = [None] * 16
+        self._signal_handlers: List[Optional[SignalFn]] = [None] * 16
 
         node.register_handler(MicroPacketType.DMA, None, self._on_dma)
         node.register_handler(MicroPacketType.INTERRUPT, None, self._on_interrupt)
@@ -200,7 +202,7 @@ class Messenger:
             for offset in sorted(handle.unconfirmed):
                 pkt = handle.unconfirmed[offset]
                 frame = self.node.mac.send(pkt)
-                frame.meta["msg"] = (handle.transfer_id, offset)
+                frame.msg_tag = (handle.transfer_id, offset)
         finally:
             self.dma_channels.release()
 
@@ -228,22 +230,28 @@ class Messenger:
 
     # ------------------------------------------------------------- receive
     def on_message(self, channel: int, fn: MessageFn) -> None:
-        if channel in self._message_handlers:
+        if not 0 <= channel <= 0xF:
+            raise ValueError("channel out of range")
+        if self._message_handlers[channel] is not None:
             raise ValueError(f"message channel {channel} already claimed")
         self._message_handlers[channel] = fn
 
     def on_signal(self, channel: int, fn: SignalFn) -> None:
-        if channel in self._signal_handlers:
+        if not 0 <= channel <= 0xF:
+            raise ValueError("channel out of range")
+        if self._signal_handlers[channel] is not None:
             raise ValueError(f"signal channel {channel} already claimed")
         self._signal_handlers[channel] = fn
 
     def off_message(self, channel: int) -> None:
         """Release a message channel so a later workload can claim it."""
-        self._message_handlers.pop(channel, None)
+        if 0 <= channel <= 0xF:
+            self._message_handlers[channel] = None
 
     def off_signal(self, channel: int) -> None:
         """Release a signal channel so a later workload can claim it."""
-        self._signal_handlers.pop(channel, None)
+        if 0 <= channel <= 0xF:
+            self._signal_handlers[channel] = None
 
     def _on_dma(self, pkt: MicroPacket, frame) -> None:
         assert pkt.dma is not None
@@ -263,19 +271,19 @@ class Messenger:
         if len(self._completed) > _COMPLETED_CACHE:
             self._completed.popitem(last=False)
         self.counters.incr("messages_received")
-        handler = self._message_handlers.get(state.channel)
+        handler = self._message_handlers[state.channel]
         if handler is not None:
             handler(pkt.src, result, state.channel)
 
     def _on_interrupt(self, pkt: MicroPacket, frame) -> None:
         self.counters.incr("signals_received")
-        handler = self._signal_handlers.get(pkt.channel)
+        handler = self._signal_handlers[pkt.channel]
         if handler is not None:
             handler(pkt.src, pkt.payload)
 
     # -------------------------------------------------------- reliability
     def _on_tour_complete(self, frame) -> None:
-        tag = frame.meta.get("msg")
+        tag = frame.msg_tag
         if tag is None:
             return
         tid, offset = tag
@@ -290,7 +298,7 @@ class Messenger:
                 handle.delivered.succeed(handle)
 
     def _on_tour_lost(self, frame) -> None:
-        tag = frame.meta.get("msg")
+        tag = frame.msg_tag
         if tag is None:
             return
         self.counters.incr("fragments_lost")
@@ -316,6 +324,6 @@ class Messenger:
                 if offset not in handle.unconfirmed:
                     continue  # confirmed in the meantime
                 frame = self.node.mac.send(pending[offset])
-                frame.meta["msg"] = (handle.transfer_id, offset)
+                frame.msg_tag = (handle.transfer_id, offset)
         finally:
             self.dma_channels.release()

@@ -11,7 +11,11 @@ from .generators import (
 from .stochastic import (
     BurstStream,
     InhomogeneousPoissonStream,
+    ParetoPoissonStream,
+    ParetoSizeMixin,
     PoissonStream,
+    pareto_size_fn,
+    pareto_sizes,
     ramp_profile,
     sinusoidal_profile,
 )
@@ -22,8 +26,12 @@ __all__ = [
     "FileStream",
     "InhomogeneousPoissonStream",
     "MessageStream",
+    "ParetoPoissonStream",
+    "ParetoSizeMixin",
     "PoissonStream",
     "StreamStats",
+    "pareto_size_fn",
+    "pareto_sizes",
     "ramp_profile",
     "run_slide7_mixed_workload",
     "sinusoidal_profile",

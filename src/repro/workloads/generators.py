@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..micropacket import BROADCAST, MicroPacket, MicroPacketType
-from ..sim import Counter, LatencyStat
+from ..sim import LatencyStat
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster import AmpNetCluster
@@ -79,6 +79,7 @@ class MessageStream:
         channel: int = 0,
         name: Optional[str] = None,
         reliable: bool = False,
+        size_fn: Optional[Callable[[int], int]] = None,
     ):
         self.cluster = cluster
         self.src = src
@@ -87,8 +88,16 @@ class MessageStream:
         self.count = count
         self.channel = channel
         self.reliable = reliable
+        #: optional per-message payload size hook (seq -> bytes); sizes
+        #: above one cell require the messenger's fragmentation, so a
+        #: sized stream must be reliable (see ParetoSizeMixin).
+        self.size_fn = size_fn
         if reliable and dst == BROADCAST:
             raise ValueError("reliable streams need a unicast destination")
+        if size_fn is not None and not reliable:
+            raise ValueError(
+                "size_fn payloads exceed one fixed cell; use reliable=True"
+            )
         self.stats = StreamStats(name or f"msg-{src}->{dst}")
         #: simulated send instant of every offered packet (tests and the
         #: stochastic property suite assert on arrival processes)
@@ -150,14 +159,22 @@ class MessageStream:
         subclasses (must be deterministic given the cluster's seed)."""
         return self.interval_ns
 
+    def _payload_for(self, seq: int) -> bytes:
+        """Eight-byte sequence header, padded out to the hooked size."""
+        header = seq.to_bytes(8, "little")
+        if self.size_fn is None:
+            return header
+        size = max(8, int(self.size_fn(seq)))
+        return header + bytes((seq + i) % 256 for i in range(size - 8))
+
     def _tx(self):
         sim = self.cluster.sim
         node = self.cluster.nodes[self.src]
         for seq in range(self.count):
-            payload = seq.to_bytes(8, "little")
+            payload = self._payload_for(seq)
             self.tx_times.append(sim.now)
             if self.reliable:
-                self._sent_at[payload] = sim.now
+                self._sent_at[payload[:8]] = sim.now
                 node.messenger.send(self.dst, payload, self.channel)
             else:
                 pkt = MicroPacket(
@@ -239,7 +256,6 @@ class AllToAllBroadcast:
         self.count = count_per_node
         self.channel = channel
         self.stats: Dict[int, StreamStats] = {}
-        self.received: Counter = Counter()
         self.closed = False
         self._sinks: List = []
         for node_id, node in cluster.nodes.items():
@@ -260,15 +276,21 @@ class AllToAllBroadcast:
         self._sinks.clear()
 
     def _make_rx(self, me: int):
+        # Bound locally: this sink runs once per delivery per node, which
+        # is count * n * (n-1) times per storm.
+        stats_by_src = self.stats
+        channel = self.channel
+        data = MicroPacketType.DATA
+        sim = self.cluster.sim
+
         def rx(pkt: MicroPacket, frame) -> None:
-            if pkt.ptype != MicroPacketType.DATA or pkt.channel != self.channel:
+            if pkt.ptype != data or pkt.channel != channel:
                 return
-            self.received.incr(f"{pkt.src}->{me}")
-            stats = self.stats[pkt.src]
+            stats = stats_by_src[pkt.src]
             stats.delivered += 1
             stats.bytes_delivered += len(pkt.payload)
             if frame.inserted_at is not None:
-                stats.latency.add(self.cluster.sim.now - frame.inserted_at)
+                stats.latency.add(sim._now - frame.inserted_at)
 
         return rx
 

@@ -38,6 +38,10 @@ __all__ = [
     "PoissonStream",
     "InhomogeneousPoissonStream",
     "BurstStream",
+    "ParetoSizeMixin",
+    "ParetoPoissonStream",
+    "pareto_size_fn",
+    "pareto_sizes",
     "sinusoidal_profile",
     "ramp_profile",
 ]
@@ -79,6 +83,71 @@ def ramp_profile(start_ns: int, end_ns: int, floor: float = 0.05
     return profile
 
 
+def pareto_size_fn(
+    cluster: "AmpNetCluster", name: str, **pareto_cfg
+) -> Callable[[int], int]:
+    """The one place the size-stream seeding contract lives: sizes for
+    workload ``name`` always draw from ``workload.<name>.sizes``, so the
+    scenario runner and :class:`ParetoSizeMixin` replay identically."""
+    return pareto_sizes(
+        cluster.sim.rng.stream(f"workload.{name}.sizes"), **pareto_cfg
+    )
+
+
+def pareto_sizes(
+    rng, alpha: float = 1.5, min_bytes: int = 16, cap_bytes: int = 4096
+) -> Callable[[int], int]:
+    """Bounded-Pareto payload sizes: heavy-tailed file/message mixes.
+
+    Draws ``min_bytes * Pareto(alpha)`` capped at ``cap_bytes`` — the
+    classic heavy-tailed size model (most messages tiny, rare large ones
+    carrying most of the bytes).  ``rng`` must be a named seeded stream
+    (``sim.rng.stream("workload.<name>.sizes")``) so size sequences
+    replay exactly under the master seed.
+    """
+    if alpha <= 0:
+        raise ValueError("pareto alpha must be positive")
+    if not 1 <= min_bytes <= cap_bytes:
+        raise ValueError("need 1 <= min_bytes <= cap_bytes")
+
+    def draw(seq: int) -> int:
+        size = int(min_bytes * rng.paretovariate(alpha))
+        return cap_bytes if size > cap_bytes else size
+
+    return draw
+
+
+class ParetoSizeMixin:
+    """Mixin giving any MessageStream subclass heavy-tailed payload sizes.
+
+    Mix in *before* the stream class and pass ``pareto_alpha`` /
+    ``pareto_min_bytes`` / ``pareto_cap_bytes``; the mixin derives a
+    dedicated ``workload.<name>.sizes`` random stream (so sizes never
+    perturb the arrival process draws) and installs a
+    :func:`pareto_sizes` hook.  Sized payloads span multiple cells, so
+    the stream must be ``reliable=True`` (enforced by MessageStream).
+    """
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        *args,
+        pareto_alpha: float = 1.5,
+        pareto_min_bytes: int = 16,
+        pareto_cap_bytes: int = 4096,
+        name: Optional[str] = None,
+        **kwargs,
+    ):
+        if name is None:
+            raise ValueError("Pareto-sized streams need an explicit name "
+                             "(it seeds the size stream)")
+        kwargs["size_fn"] = pareto_size_fn(
+            cluster, name, alpha=pareto_alpha,
+            min_bytes=pareto_min_bytes, cap_bytes=pareto_cap_bytes,
+        )
+        super().__init__(cluster, *args, name=name, **kwargs)
+
+
 class PoissonStream(MessageStream):
     """Homogeneous Poisson arrivals with mean gap ``mean_interval_ns``."""
 
@@ -92,6 +161,7 @@ class PoissonStream(MessageStream):
         channel: int = 0,
         name: Optional[str] = None,
         reliable: bool = False,
+        size_fn: Optional[Callable[[int], int]] = None,
     ):
         if mean_interval_ns <= 0:
             raise ValueError("mean_interval_ns must be positive")
@@ -100,7 +170,7 @@ class PoissonStream(MessageStream):
         self._rng = cluster.sim.rng.stream(f"workload.{name}")
         super().__init__(
             cluster, src, dst, interval_ns=mean_interval_ns, count=count,
-            channel=channel, name=name, reliable=reliable,
+            channel=channel, name=name, reliable=reliable, size_fn=size_fn,
         )
 
     def _gap_ns(self, seq: int) -> int:
@@ -128,6 +198,7 @@ class InhomogeneousPoissonStream(MessageStream):
         channel: int = 0,
         name: Optional[str] = None,
         reliable: bool = False,
+        size_fn: Optional[Callable[[int], int]] = None,
     ):
         if peak_interval_ns <= 0:
             raise ValueError("peak_interval_ns must be positive")
@@ -137,7 +208,7 @@ class InhomogeneousPoissonStream(MessageStream):
         self._rng = cluster.sim.rng.stream(f"workload.{name}")
         super().__init__(
             cluster, src, dst, interval_ns=peak_interval_ns, count=count,
-            channel=channel, name=name, reliable=reliable,
+            channel=channel, name=name, reliable=reliable, size_fn=size_fn,
         )
 
     def _gap_ns(self, seq: int) -> int:
@@ -177,6 +248,7 @@ class BurstStream(MessageStream):
         channel: int = 0,
         name: Optional[str] = None,
         reliable: bool = False,
+        size_fn: Optional[Callable[[int], int]] = None,
     ):
         if burst_mean < 1:
             raise ValueError("burst_mean must be >= 1")
@@ -190,7 +262,7 @@ class BurstStream(MessageStream):
         self._left_in_burst = 0
         super().__init__(
             cluster, src, dst, interval_ns=intra_gap_ns, count=count,
-            channel=channel, name=name, reliable=reliable,
+            channel=channel, name=name, reliable=reliable, size_fn=size_fn,
         )
         self._left_in_burst = self._draw_burst()
 
@@ -208,3 +280,8 @@ class BurstStream(MessageStream):
             return self.intra_gap_ns
         self._left_in_burst = self._draw_burst()
         return max(1, round(self._rng.expovariate(1.0 / self.off_mean_ns)))
+
+
+class ParetoPoissonStream(ParetoSizeMixin, PoissonStream):
+    """Poisson arrivals carrying bounded-Pareto-sized reliable payloads —
+    the heavy-tailed workload class the ROADMAP asks for."""

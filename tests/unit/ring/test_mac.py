@@ -150,7 +150,7 @@ def test_orphan_scrubbed_after_excess_hops():
     macs, _sw = two_node_ring(sim)
     # Forge a transit frame from a source not on the roster (id 7):
     frame = frame_for(data(7, 1))
-    frame.meta["hops"] = 10
+    frame.hops = 10
     macs[1].on_frame(frame, macs[1].ports[0])
     sim.run(until=100_000)
     assert macs[1].counters["orphans_scrubbed"] == 1

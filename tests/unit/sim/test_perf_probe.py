@@ -1,0 +1,85 @@
+"""repro.perf: accounting correctness and the no-observer-effect contract.
+
+The kernel's event accounting must never change what the kernel does:
+a run with a PerfProbe attached (even with per-layer classification on)
+has to produce the identical event sequence, trace timeline and
+counters as a run without one — measuring may not perturb.
+"""
+
+from repro import AmpNetCluster, ClusterConfig
+from repro.perf import PerfProbe, PerfReport, layer_of
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import ScenarioRunner, trace_digest
+from repro.sim import Callback, Simulator
+
+
+# ------------------------------------------------------------ accounting
+def test_events_processed_counts_kernel_work():
+    sim = Simulator()
+    for k in range(5):
+        sim.call_in(k * 10, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_probe_window_and_report_fields():
+    sim = Simulator()
+    hits = []
+    for k in range(100):
+        sim.call_in(k * 7, hits.append, k)
+    probe = PerfProbe(sim, per_kind=True)
+    probe.start()
+    sim.run()
+    report = probe.stop()
+    assert report.events == 100
+    assert report.sim_ns == 99 * 7
+    assert report.wall_s > 0
+    assert report.events_per_sec > 0
+    assert sum(report.by_layer.values()) == 100
+    # stop() detaches the observer so later runs are unobserved.
+    assert sim.on_event is None
+    payload = report.to_dict()
+    assert payload["events"] == 100 and "by_layer" in payload
+
+
+def test_layer_classification():
+    sim = Simulator()
+    assert layer_of(Callback(test_events_processed_counts_kernel_work, ()))\
+        .startswith("")  # a plain module function classifies without error
+    timeout = sim.timeout(5)
+    assert layer_of(timeout) == "sim.Timeout"
+
+
+# --------------------------------------------- measuring must not perturb
+def _run_quiet(seed: int, probed: bool):
+    spec = get_scenario("quiet_ring").with_seed(seed)
+    state = {}
+
+    def hook(phase):
+        if phase == "built" and probed:
+            probe = state["probe"] = PerfProbe(
+                runner.cluster.sim, per_kind=True
+            )
+            probe.start()
+
+    runner = ScenarioRunner(spec, phase_hook=hook)
+    result = runner.run()
+    events = runner.cluster.sim.events_processed
+    return result, events, state.get("probe")
+
+
+def test_perf_accounting_does_not_change_the_event_sequence():
+    """Same seed, probe on vs off: identical timeline, counters and
+    event totals — the microbench determinism contract."""
+    plain, plain_events, _ = _run_quiet(11, probed=False)
+    probed, probed_events, probe = _run_quiet(11, probed=True)
+    assert probed.trace_digest == plain.trace_digest
+    assert probed.counters == plain.counters
+    assert probed_events == plain_events
+    report = probe.stop()
+    assert report.events > 0
+    # The per-layer split accounts for every observed entry and sees the
+    # hot layers of the stack.
+    assert sum(report.by_layer.values()) == report.events
+    assert any(layer.startswith("phys.link") for layer in report.by_layer)
+    assert any(layer.startswith("ring.mac") for layer in report.by_layer)
