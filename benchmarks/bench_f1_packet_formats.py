@@ -13,6 +13,8 @@ from repro.micropacket import (
     layout_rows,
 )
 
+import harness
+
 
 def fixed_packet() -> MicroPacket:
     return MicroPacket(
@@ -29,7 +31,7 @@ def variable_packet() -> MicroPacket:
     )
 
 
-def test_f1_packet_format_layouts(benchmark, publish):
+def test_f1_packet_format_layouts(benchmark, publish, publish_json):
     fixed_rows = layout_rows(fixed_packet())
     var_rows = layout_rows(variable_packet())
 
@@ -58,3 +60,28 @@ def test_f1_packet_format_layouts(benchmark, publish):
         + render_table("F1b (slide 6): MicroPacket variable format", headers, var_rows)
     )
     publish("F1", text)
+    publish_json(
+        harness.bench_payload(
+            exp="F1",
+            title="MicroPacket byte layouts (slides 5-6), regenerated "
+                  "from the serializer",
+            params={
+                "fixed_payload_bytes": 8,
+                "variable_payload_bytes": 64,
+            },
+            columns=["Format"] + headers,
+            rows=(
+                [["fixed", *row] for row in fixed_rows]
+                + [["variable", *row] for row in var_rows]
+            ),
+            metrics={
+                "fixed_words": len(fixed_rows),
+                "variable_words": len(var_rows),
+            },
+            notes="Deterministic byte-for-byte regeneration of the two "
+                  "layout figures; the rows double as a regression pin "
+                  "on the wire format (including the reserved bits now "
+                  "hosting the global-address extension, which must stay "
+                  "zero for unrouted packets).",
+        )
+    )

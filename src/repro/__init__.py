@@ -38,15 +38,37 @@ will not re-admit a node the epidemic layer has declared dead.  See
 ``examples/README.md`` for the full guidance and
 ``benchmarks/bench_f10_gossip_convergence.py`` for the numbers.
 
-See DESIGN.md for the module map and EXPERIMENTS.md for the paper-shape
-reproduction results.
+Scaling past 255 nodes
+----------------------
+
+One ring tops out at 255 addressable nodes (8-bit MicroPacket address
+space; id 255 is broadcast).  :mod:`repro.routing` joins several rings
+through segment routers into one cluster addressed by
+``(segment, node)`` pairs::
+
+    from repro import RoutedCluster, RoutedClusterConfig, RouterConfig
+    from repro import ClusterConfig
+
+    cluster = RoutedCluster(RoutedClusterConfig(
+        segments=[ClusterConfig(n_nodes=128, n_switches=2)
+                  for _ in range(2)],
+        routers=[RouterConfig(segments=(0, 1))],
+    ))
+
+See ``docs/architecture.md`` for the module map and layer diagrams.
 """
 
 from .cluster import AmpNetCluster, ClusterConfig
 from .membership import GossipProtocol, MembershipConfig
 from .node import AmpNode, NodeConfig
+from .routing import (
+    RoutedCluster,
+    RoutedClusterConfig,
+    RouterConfig,
+    SegmentRouter,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AmpNetCluster",
@@ -55,5 +77,9 @@ __all__ = [
     "GossipProtocol",
     "MembershipConfig",
     "NodeConfig",
+    "RoutedCluster",
+    "RoutedClusterConfig",
+    "RouterConfig",
+    "SegmentRouter",
     "__version__",
 ]

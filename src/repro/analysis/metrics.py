@@ -29,7 +29,15 @@ def ring_drop_count(cluster: "AmpNetCluster") -> int:
     The no-drop claim covers the operating ring: transit overflows and
     switch misroutes.  (Frames in flight during a failure are not drops —
     they are retransmitted by the messenger and counted separately.)
+
+    A :class:`~repro.routing.RoutedCluster` sums its segments and adds
+    messages the routing layer lost (egress overflow, unroutable).
     """
+    if not hasattr(cluster, "topology"):  # routed: a cluster of clusters
+        return (
+            sum(ring_drop_count(sub) for sub in cluster.segments)
+            + cluster.router_drop_count()
+        )
     drops = total_mac_counter(cluster, "transit_overflow_drop")
     for sw in cluster.topology.switches:
         drops += sw.counters["no_route_drop"]

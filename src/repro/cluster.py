@@ -80,15 +80,18 @@ class AmpNetCluster:
         seed: int = 0,
         config: Optional[ClusterConfig] = None,
         sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if config is None:
             config = ClusterConfig(
                 n_nodes=n_nodes, n_switches=n_switches, fiber_m=fiber_m, seed=seed
             )
         self.config = config
-        # Segments joined by a router (slide 15) share one simulator.
+        # Segments joined by a router (slide 15) share one simulator —
+        # and one tracer, so a routed cluster's timeline digests cover
+        # every segment in one stream (see repro.routing.RoutedCluster).
         self.sim = sim if sim is not None else Simulator(seed=config.seed)
-        self.tracer = Tracer(enabled=config.trace)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=config.trace)
         self.topology: PhysicalTopology = build_switched(
             self.sim, config.n_nodes, config.n_switches, config.fiber_m,
             tracer=self.tracer,
@@ -324,6 +327,16 @@ class AmpNetCluster:
             if not node.failed and node.roster is not None and node.ring_up:
                 return node.roster
         return None
+
+    def roster_mismatch(self, expected_live) -> str:
+        """"" when the installed roster matches ``expected_live`` ids;
+        otherwise a human-readable description of the difference."""
+        roster = self.current_roster()
+        members = set(roster.members) if roster is not None else set()
+        expected = set(expected_live)
+        if members == expected:
+            return ""
+        return f"roster {sorted(members)} != expected {sorted(expected)}"
 
     def live_nodes(self) -> List[AmpNode]:
         return [n for n in self.nodes.values() if not n.failed]

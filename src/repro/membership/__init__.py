@@ -17,6 +17,12 @@ Enable per cluster::
         membership_cfg=MembershipConfig(fanout=2),
     ))
 
+On router-joined clusters (:mod:`repro.routing`) gossip stays
+per-segment, but each verdict also fires the gateway's
+``transition_listeners`` — an observation hook segment routers tap to
+audit gossip crossing their ports; the liveness they advertise is read
+from the gateway's :class:`PeerView` when each advertisement is built.
+
 See :mod:`repro.membership.state` for the merge semilattice and
 ``examples/gossip_membership.py`` for the full tour.
 """

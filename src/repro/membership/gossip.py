@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..micropacket import VARIABLE_PAYLOAD_MAX
 from ..sim import Counter
@@ -137,6 +137,13 @@ class GossipProtocol:
         #: count ring-down time, or any outage longer than the staleness
         #: window mass-suspects the whole (perfectly alive) cluster
         self._last_ring_up = 0
+
+        #: observers of every recorded status transition (PeerState).
+        #: The segment-routing layer taps this on gateway nodes to audit
+        #: gossip verdicts crossing the router; the liveness a router
+        #: *advertises* is read from this node's view at advertisement
+        #: time (see :mod:`repro.routing`).
+        self.transition_listeners: List[Callable[[PeerState], None]] = []
 
         self._channel = Channel.MEMBERSHIP
         node.messenger.on_message(self._channel, self._on_digest)
@@ -401,6 +408,8 @@ class GossipProtocol:
             incarnation=state.incarnation, heartbeat=state.heartbeat,
             why=why,
         )
+        for listener in self.transition_listeners:
+            listener(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,8 @@ from .packet import (
     FIXED_PAYLOAD_MAX,
     FIXED_WIRE_BYTES,
     HEADER_BYTES,
+    MAX_SEGMENT,
+    ROUTED_OFFSET_MAX,
     TYPE_REGISTRY,
     VARIABLE_PAYLOAD_MAX,
     DmaControl,
@@ -61,6 +63,8 @@ __all__ = [
     "K28_5",
     "K29_7",
     "K30_7",
+    "MAX_SEGMENT",
+    "ROUTED_OFFSET_MAX",
     "MicroPacket",
     "MicroPacketType",
     "PacketFormatError",

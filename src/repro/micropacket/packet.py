@@ -41,11 +41,24 @@ __all__ = [
     "VARIABLE_PAYLOAD_MAX",
     "FIXED_WIRE_BYTES",
     "HEADER_BYTES",
+    "MAX_SEGMENT",
+    "ROUTED_OFFSET_MAX",
 ]
 
 #: Destination address meaning "every node on the ring" (slide 8's
 #: all-to-all broadcast uses this).
 BROADCAST = 0xFF
+
+#: Highest segment id the global-address header extension can carry.
+#: Segment ids ride in two reserved nibbles of the DMA control block as
+#: ``value + 1`` (0 = "no segment / local traffic"), so 15 segments
+#: (0..14) of up to 255 nodes each are addressable — 3825 nodes per
+#: routed cluster against the single ring's 255-node ceiling.
+MAX_SEGMENT = 14
+
+#: Routed packets reserve the top byte of the 32-bit DMA offset for the
+#: origin node id, capping a single routed transfer at 16 MiB.
+ROUTED_OFFSET_MAX = 0xFF_FFFF
 
 #: Fixed-format packets carry at most two payload words.
 FIXED_PAYLOAD_MAX = 8
@@ -124,16 +137,37 @@ class DmaControl:
 
     Layout (DMA Ctrl 0..7)::
 
-        byte 0      DMA channel (0..15)
-        byte 1      transfer flags (bit0 = last cell of transfer)
-        bytes 2..5  destination region offset (little-endian u32)
+        byte 0      DMA channel (0..15, low nibble); high nibble carries
+                    the global-address *destination segment* (value+1,
+                    0 = unrouted)
+        byte 1      transfer flags (bit0 = last cell of transfer); the
+                    high nibble carries the *source segment* (value+1,
+                    0 = none); bits 1..3 remain reserved
+        bytes 2..5  destination region offset (little-endian u32).  For
+                    routed packets the offset is 24-bit (bytes 2..4) and
+                    byte 5 carries the *source node id* of the original
+                    inserter
         bytes 6..7  transfer id (little-endian u16)
+
+    The segment fields are the **global-address extension** that lets a
+    :class:`~repro.routing.SegmentRouter` join several 8-bit rings: a
+    packet whose ``dst_segment`` differs from the local ring's segment id
+    is copied off the ring by the router and re-originated on the next
+    segment, while ``(src_segment, src_node)`` preserves the original
+    sender across re-originations so receivers can reply.  All three
+    fields ride in bits that were reserved (zero) before the extension,
+    so unrouted packets pack byte-identically to the pre-extension
+    format.
     """
 
     channel: int
     offset: int
     transfer_id: int = 0
     last: bool = False
+    #: global-address extension (None on all three = plain local packet)
+    src_segment: Optional[int] = None
+    src_node: Optional[int] = None
+    dst_segment: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.channel <= 15:
@@ -142,22 +176,61 @@ class DmaControl:
             raise ValueError("DMA offset out of u32 range")
         if not 0 <= self.transfer_id <= 0xFFFF:
             raise ValueError("transfer id out of u16 range")
+        if (self.src_segment is None) != (self.src_node is None):
+            raise ValueError(
+                "src_segment and src_node form one global address; "
+                "set both or neither"
+            )
+        for seg in (self.src_segment, self.dst_segment):
+            if seg is not None and not 0 <= seg <= MAX_SEGMENT:
+                raise ValueError(
+                    f"segment id {seg} out of range 0..{MAX_SEGMENT}"
+                )
+        if self.src_node is not None and not 0 <= self.src_node <= 0xFE:
+            raise ValueError(f"source node id {self.src_node} out of range 0..254")
+        if self.routed and self.offset > ROUTED_OFFSET_MAX:
+            raise ValueError(
+                "routed packets carry a 24-bit offset (the top offset "
+                "byte holds the source node id)"
+            )
+
+    @property
+    def routed(self) -> bool:
+        """True when the global-address extension is in use."""
+        return self.src_segment is not None or self.dst_segment is not None
 
     def pack(self) -> bytes:
-        flags = 1 if self.last else 0
-        return bytes(
-            [self.channel, flags]
-        ) + self.offset.to_bytes(4, "little") + self.transfer_id.to_bytes(2, "little")
+        byte0 = self.channel
+        if self.dst_segment is not None:
+            byte0 |= (self.dst_segment + 1) << 4
+        byte1 = 1 if self.last else 0
+        if self.src_segment is not None:
+            byte1 |= (self.src_segment + 1) << 4
+            offset = self.offset.to_bytes(3, "little") + bytes([self.src_node])
+        else:
+            offset = self.offset.to_bytes(4, "little")
+        return bytes([byte0, byte1]) + offset + self.transfer_id.to_bytes(2, "little")
 
     @classmethod
     def unpack(cls, raw: bytes) -> "DmaControl":
         if len(raw) != 8:
             raise ValueError(f"DMA control must be 8 bytes, got {len(raw)}")
+        dst_nibble = raw[0] >> 4
+        src_nibble = raw[1] >> 4
+        if src_nibble:
+            offset = int.from_bytes(raw[2:5], "little")
+            src_node: Optional[int] = raw[5]
+        else:
+            offset = int.from_bytes(raw[2:6], "little")
+            src_node = None
         return cls(
-            channel=raw[0],
+            channel=raw[0] & 0xF,
             last=bool(raw[1] & 1),
-            offset=int.from_bytes(raw[2:6], "little"),
+            offset=offset,
             transfer_id=int.from_bytes(raw[6:8], "little"),
+            src_segment=src_nibble - 1 if src_nibble else None,
+            src_node=src_node,
+            dst_segment=dst_nibble - 1 if dst_nibble else None,
         )
 
 

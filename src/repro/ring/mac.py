@@ -90,6 +90,17 @@ class RingMAC:
         #: reusable pick entry (stateless; may recur on the heap)
         self._tx_step_cb = Callback(self._tx_step, ())
 
+        #: Segment id of the ring this MAC sits on (multi-segment
+        #: clusters only; None = classic single-segment operation).  A
+        #: delivered packet whose header carries a different
+        #: ``dst_segment`` is in transit *through* this ring, not for it.
+        self.segment_id: Optional[int] = None
+        #: Router tap: when set (on a router's gateway MAC only), every
+        #: transiting frame whose global address names another segment is
+        #: copied off the ring here — the frame itself keeps circulating
+        #: back to its inserter, so the tour-as-ack contract is untouched.
+        self.capture: Optional[DeliverFn] = None
+
         #: upward delivery (set by the node's transport layer)
         self.on_deliver: Optional[DeliverFn] = None
         #: frame completed its tour (reliability signal)
@@ -341,13 +352,33 @@ class RingMAC:
             counters.incr("orphans_scrubbed")
             return
 
+        if self.capture is not None:
+            dma = pkt.dma
+            if (
+                dma is not None
+                and dma.dst_segment is not None
+                and dma.dst_segment != self.segment_id
+            ):
+                counters.incr("rx_captured")
+                self.capture(pkt, frame)
+
         dst = pkt.dst
         if dst == BROADCAST or dst == self.node_id:
-            counters.incr("rx_delivered")
-            if frame.inserted_at is not None:
-                self.delivery_latency.add(self.sim._now - frame.inserted_at)
-            if self.on_deliver is not None:
-                self.on_deliver(pkt, frame)
+            # A routed packet touring this ring on its way to another
+            # segment is not local traffic, even when its destination
+            # node id collides with ours (each segment has its own 8-bit
+            # MAC space).
+            dma = pkt.dma
+            if (
+                dma is None
+                or dma.dst_segment is None
+                or dma.dst_segment == self.segment_id
+            ):
+                counters.incr("rx_delivered")
+                if frame.inserted_at is not None:
+                    self.delivery_latency.add(self.sim._now - frame.inserted_at)
+                if self.on_deliver is not None:
+                    self.on_deliver(pkt, frame)
 
         # Source removal: everything keeps circulating back to its source.
         transit = self._transit

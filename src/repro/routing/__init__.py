@@ -1,0 +1,38 @@
+"""Router-joined multi-ring clusters: scaling past the 255-node ceiling.
+
+A single AmpNet segment tops out at 255 addressable nodes — the 8-bit
+MicroPacket address space, with id 255 reserved for broadcast (scenario
+``large_ring_256`` pins that ceiling).  Slide 15 of the paper scales
+further by joining independently-rostered segments through a router.
+This package is that architecture step:
+
+* :class:`SegmentRouter` — a store-and-forward bridge holding one port
+  (a gateway node) per attached segment.  Each segment keeps its own
+  8-bit MAC space, ring MAC and rostering master; the router captures
+  frames whose global address names another segment, reassembles them,
+  and re-originates them on the next ring.  Egress is governed by
+  bounded per-segment queues whose backpressure reuses
+  :class:`repro.ring.flow_control.InsertionController`.
+* :class:`RoutedCluster` / :class:`RoutedClusterConfig` — the
+  multi-segment counterpart of :class:`repro.cluster.AmpNetCluster`:
+  several segments on one simulator and one tracer, joined by routers,
+  addressed by ``(segment, node)``
+  :data:`~repro.transport.GlobalAddress` pairs.
+
+The wire-level global address rides in reserved bits of the MicroPacket
+DMA control block (see :class:`repro.micropacket.DmaControl`); routers
+learn their forwarding tables from membership/roster liveness crossing
+the router as periodic route advertisements on
+``Channel.ROUTING``.  See ``docs/architecture.md`` for the layer
+diagram.
+"""
+
+from .cluster import RoutedCluster, RoutedClusterConfig
+from .router import RouterConfig, SegmentRouter
+
+__all__ = [
+    "RoutedCluster",
+    "RoutedClusterConfig",
+    "RouterConfig",
+    "SegmentRouter",
+]

@@ -1,0 +1,258 @@
+"""RoutedCluster: several ring segments, one simulator, one timeline.
+
+The multi-segment counterpart of :class:`repro.cluster.AmpNetCluster`.
+Each segment is a complete AmpNetCluster — its own switches, rostering
+domain, 8-bit MAC space and (optionally) gossip membership — built on a
+*shared* simulator and tracer.  Routers are extra member nodes: a router
+attached to a segment occupies the next node id after the segment's user
+nodes, so a 128-user-node segment with one router runs a 129-member
+ring.
+
+Addressing is global: ``cluster.nodes`` is keyed by ``(segment, node)``
+:data:`~repro.transport.GlobalAddress` pairs, every node's messenger
+resolves tuple destinations (same-segment addresses short-cut onto the
+local ring), and the workload generators work unchanged because the
+dict-lookup / messenger APIs are identical.
+
+Build-time validation guarantees the router graph is a *tree* (the
+forwarding layer has no TTL, so a cyclic segment graph could circulate
+a message forever) and that every segment — user nodes plus gateways —
+stays within the 255-member ring ceiling that motivates this package in
+the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cluster import AmpNetCluster, ClusterConfig
+from ..micropacket import MAX_SEGMENT
+from ..sim import ConvergenceTracker, SimulationError, Simulator, Tracer
+from ..transport import GlobalAddress
+from .router import RouterConfig, SegmentRouter
+
+__all__ = ["RoutedCluster", "RoutedClusterConfig"]
+
+
+@dataclass
+class RoutedClusterConfig:
+    """Shape of a router-joined multi-segment cluster.
+
+    ``segments[i].n_nodes`` counts *user* nodes; gateway nodes for the
+    routers attached to segment ``i`` are appended automatically.
+    """
+
+    segments: Sequence[ClusterConfig] = field(default_factory=list)
+    routers: Sequence[RouterConfig] = field(default_factory=list)
+    seed: int = 0
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        n_seg = len(self.segments)
+        if n_seg < 1:
+            raise ValueError("a routed cluster needs at least one segment")
+        if n_seg > MAX_SEGMENT + 1:
+            raise ValueError(
+                f"at most {MAX_SEGMENT + 1} segments are addressable "
+                "(4-bit segment field)"
+            )
+        # Union-find over segments; every router edge must join two
+        # previously-disconnected components, i.e. the graph is a forest.
+        parent = list(range(n_seg))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for router in self.routers:
+            for seg in router.segments:
+                if not 0 <= seg < n_seg:
+                    raise ValueError(
+                        f"router references segment {seg}; cluster has "
+                        f"segments 0..{n_seg - 1}"
+                    )
+            anchor = router.segments[0]
+            for seg in router.segments[1:]:
+                ra, rb = find(anchor), find(seg)
+                if ra == rb:
+                    raise ValueError(
+                        "router graph has a cycle (the forwarding layer "
+                        "requires a tree of segments)"
+                    )
+                parent[rb] = ra
+        for si, seg_cfg in enumerate(self.segments):
+            total = seg_cfg.n_nodes + sum(
+                1 for r in self.routers if si in r.segments
+            )
+            if total > 255:
+                raise ValueError(
+                    f"segment {si}: {seg_cfg.n_nodes} user nodes plus "
+                    f"gateways exceed the 255-member ring ceiling"
+                )
+
+    def gateways_of(self, segment: int) -> List[Tuple[int, int]]:
+        """``(router_index, gateway_node_id)`` per router on ``segment``."""
+        out: List[Tuple[int, int]] = []
+        base = self.segments[segment].n_nodes
+        for ri, router in enumerate(self.routers):
+            if segment in router.segments:
+                out.append((ri, base + len(out)))
+        return out
+
+
+class RoutedCluster:
+    """Builds and runs a router-joined multi-segment cluster."""
+
+    def __init__(self, config: RoutedClusterConfig):
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.tracer = Tracer(enabled=config.trace)
+        self.convergence = ConvergenceTracker(self.tracer)
+        self.segments: List[AmpNetCluster] = []
+        self.routers: List[SegmentRouter] = []
+        self.nodes: Dict[GlobalAddress, "AmpNode"] = {}  # noqa: F821
+
+        for si, seg_cfg in enumerate(config.segments):
+            n_gateways = len(config.gateways_of(si))
+            sub = AmpNetCluster(
+                config=replace(
+                    seg_cfg,
+                    n_nodes=seg_cfg.n_nodes + n_gateways,
+                    seed=config.seed,
+                    trace=config.trace,
+                ),
+                sim=self.sim,
+                tracer=self.tracer,
+            )
+            self.segments.append(sub)
+            for nid, node in sub.nodes.items():
+                node.messenger.segment_id = si
+                node.mac.segment_id = si
+                self.nodes[(si, nid)] = node
+            self._label_segment(si, sub)
+
+        for ri, router_cfg in enumerate(config.routers):
+            router = SegmentRouter(ri, router_cfg)
+            for seg in router_cfg.segments:
+                gateway_id = dict(
+                    (r, g) for r, g in config.gateways_of(seg)
+                )[ri]
+                router.attach(seg, self.segments[seg], gateway_id)
+            self.routers.append(router)
+
+    def _label_segment(self, si: int, sub: AmpNetCluster) -> None:
+        """Prefix trace source names so segments stay tellable apart.
+
+        Names are read at record time, so renaming after construction
+        re-labels every future trace record; nothing else keys on them.
+        Gossip random streams are re-pointed at segment-namespaced
+        names for the same reason with higher stakes: on a shared
+        simulator, equal node ids in different segments would otherwise
+        share one ``membership-<id>`` generator, coupling the segments'
+        gossip randomness (safe here — nothing draws before ``start``).
+        """
+        for nid, node in sub.nodes.items():
+            node.name = f"s{si}.node-{nid}"
+            node.mac.name = f"s{si}.mac-{nid}"
+            node.agent.name = f"s{si}.roster-{nid}"
+            node.messenger.name = f"s{si}.msgr-{nid}"
+            if node.membership is not None:
+                node.membership.name = f"s{si}.member-{nid}"
+                node.membership.rng = self.sim.rng.stream(
+                    f"s{si}.membership-{nid}"
+                )
+        for sw in sub.topology.switches:
+            sw.name = f"s{si}.switch-{sw.switch_id}"
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Boot every segment, then bring the routers online."""
+        for sub in self.segments:
+            sub.start()
+        for router in self.routers:
+            router.start()
+
+    def run(self, until=None):
+        return self.sim.run(until=until)
+
+    def run_until_ring_up(self, timeout_ns: Optional[int] = None) -> int:
+        """Advance until every segment's ring is operational; returns now."""
+        tour = self.tour_estimate_ns
+        default_horizon = max(200 * tour, 20_000_000)
+        horizon = self.sim.now + (timeout_ns or default_horizon)
+        step = max(tour // 4, 1_000)
+        while self.sim.now < horizon:
+            if self.all_rings_up():
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step, horizon))
+        if self.all_rings_up():
+            return self.sim.now
+        raise SimulationError("some segment's ring did not come up in time")
+
+    # ------------------------------------------------------------- queries
+    @property
+    def tour_estimate_ns(self) -> int:
+        """Largest per-segment tour estimate (scenario time base)."""
+        return max(sub.tour_estimate_ns for sub in self.segments)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def segment(self, segment_id: int) -> AmpNetCluster:
+        return self.segments[segment_id]
+
+    def all_rings_up(self) -> bool:
+        return all(sub.all_rings_up() for sub in self.segments)
+
+    def live_nodes(self):
+        return [n for n in self.nodes.values() if not n.failed]
+
+    def roster_mismatch(self, expected_live: Set[GlobalAddress]) -> str:
+        """"" when every segment's roster matches its expected members."""
+        problems = []
+        for si, sub in enumerate(self.segments):
+            roster = sub.current_roster()
+            members = set(roster.members) if roster is not None else set()
+            expected = {nid for seg, nid in expected_live if seg == si}
+            if members != expected:
+                problems.append(
+                    f"segment {si}: roster {sorted(members)} != "
+                    f"expected {sorted(expected)}"
+                )
+        return "; ".join(problems)
+
+    def router_drop_count(self) -> int:
+        """Messages lost inside the routing layer (overflow/unroutable)."""
+        return sum(
+            r.counters["egress_overflow_drop"] + r.counters["unroutable_drop"]
+            for r in self.routers
+        )
+
+    # ---------------------------------------------------------- membership
+    def membership_converged(self, dead=frozenset()) -> bool:
+        """Every segment's gossip views match that segment's ground truth."""
+        dead = set(dead)
+        for si, sub in enumerate(self.segments):
+            seg_dead = {nid for seg, nid in dead if seg == si}
+            if not sub.membership_converged(dead=seg_dead):
+                return False
+        return True
+
+    def membership_overhead(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for sub in self.segments:
+            for key, value in sub.membership_overhead().items():
+                totals[key] = totals.get(key, 0.0) + value
+        if self.segments:
+            totals["per_node_msgs"] = totals.get("per_node_msgs", 0.0) / len(
+                self.segments
+            )
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "x".join(str(len(s.nodes)) for s in self.segments)
+        return f"<RoutedCluster {sizes} routers={len(self.routers)}>"

@@ -1,0 +1,508 @@
+"""The segment router: a store-and-forward bridge between ring segments.
+
+One :class:`SegmentRouter` owns one *port* per attached segment.  A port
+is a gateway node — a full ring member of that segment with its own MAC
+and messenger — plus the router-side state: a bounded egress queue, an
+insertion controller governing how fast ferried traffic may be
+re-originated, and the liveness view of the segment behind the port.
+
+Data path (ingress -> egress)::
+
+    ring A frame, dst_segment=B          ring B
+    ------------------------+      +------------------>
+        gateway MAC capture |      | gateway messenger
+        (frame keeps        |      | re-originates with
+         touring ring A)    v      | the origin address
+              reassemble fragments | preserved in the
+              forwarding table     | header extension
+              egress queue --------+
+
+Three properties worth calling out:
+
+* **Tour-as-ack is preserved per segment.**  The captured frame still
+  circulates back to its inserter, whose messenger sees a completed
+  tour; reliability is therefore hop-by-hop — each ring's messenger
+  replays unconfirmed fragments across roster changes on *its* ring,
+  and the router's store-and-forward covers the gap between rings.
+* **Backpressure reuses the ring's own flow control.**  Each egress
+  queue is paced by a :class:`~repro.ring.flow_control.
+  InsertionController`: a bounded window of unconfirmed crossings, and
+  a pacing gap that backs off multiplicatively as the queue backs up
+  (``observe_transit_depth`` fed with the queue depth) — the exact
+  slide-8 mechanism, applied one layer up.
+* **Forwarding tables are learned, not configured.**  Every advertise
+  period a router broadcasts, into each attached segment, the segments
+  it can reach (with hop metric) and the live node ids behind them —
+  liveness taken from the gateway's gossip membership view when the
+  cluster runs one, from the roster otherwise.  Routers hearing an
+  advertisement learn ``dst segment -> next hop port``  (distance
+  vector with split horizon), so membership crossing the router is
+  exactly what builds the tables.  The router graph must be loop-free
+  (a tree), which :class:`~repro.routing.cluster.RoutedClusterConfig`
+  validates at build time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..membership import PeerStatus
+from ..micropacket import BROADCAST, MicroPacket
+from ..ring import FlowControlConfig
+from ..ring.flow_control import InsertionController
+from ..sim import Counter
+from ..transport import Channel, GlobalAddress
+from ..transport.messaging import _Reassembly
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+    from ..node import AmpNode
+
+__all__ = ["RouterConfig", "SegmentRouter"]
+
+#: Remembered completed crossings (dedup of late duplicate fragments).
+_COMPLETED_CACHE = 4096
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """One router and the segments it joins."""
+
+    #: segment ids this router holds a port on (>= 2, distinct)
+    segments: Tuple[int, ...]
+    #: bounded egress queue depth per port, in messages
+    egress_capacity: int = 64
+    #: max unconfirmed re-originations in flight per port
+    egress_window: int = 4
+    #: route/liveness advertisement period; None = derived from the
+    #: largest attached segment's tour estimate
+    advertise_period_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        segs = tuple(self.segments)
+        object.__setattr__(self, "segments", segs)
+        if len(segs) < 2:
+            raise ValueError("a router joins at least two segments")
+        if len(set(segs)) != len(segs):
+            raise ValueError("router attached twice to one segment")
+        if self.egress_capacity < 1:
+            raise ValueError("egress capacity must be >= 1")
+        if self.egress_window < 1:
+            raise ValueError("egress window must be >= 1")
+
+
+@dataclass
+class _Crossing:
+    """One reassembled message waiting in an egress queue."""
+
+    origin: GlobalAddress
+    dst: GlobalAddress
+    payload: bytes
+    channel: int
+
+
+@dataclass
+class _Route:
+    """A learned (not directly attached) destination segment."""
+
+    via: int      # port segment id the advertisement arrived on
+    metric: int   # hops to the destination segment
+    router: int   # advertising router id (freshness tie-break)
+
+
+class RouterPort:
+    """The router's attachment to one segment."""
+
+    def __init__(
+        self,
+        router: "SegmentRouter",
+        segment_id: int,
+        cluster: "AmpNetCluster",
+        gateway: "AmpNode",
+    ):
+        self.router = router
+        self.segment_id = segment_id
+        self.cluster = cluster
+        self.gateway = gateway
+        cfg = router.config
+        self.queue: Deque[_Crossing] = deque()
+        # Egress pacing: the ring's own insertion-control algebra, fed
+        # with the egress queue depth instead of a transit buffer.
+        self.controller = InsertionController(
+            FlowControlConfig(
+                transit_capacity=cfg.egress_capacity,
+                window_override=cfg.egress_window,
+                hi_watermark=max(2, cfg.egress_capacity // 4),
+            )
+        )
+        self.controller.ring_installed(2)  # window comes from the override
+        self._pump_timer_armed = False
+
+    # ------------------------------------------------------------- egress
+    def enqueue(self, crossing: _Crossing) -> bool:
+        """Queue a crossing for re-origination; False when full (drop)."""
+        if len(self.queue) >= self.router.config.egress_capacity:
+            return False
+        self.queue.append(crossing)
+        self.controller.observe_transit_depth(len(self.queue))
+        self.pump()
+        return True
+
+    def pump(self) -> None:
+        """Drain as much of the queue as window + pacing allow.
+
+        A crossing whose *final* destination is not currently rostered
+        on this segment is parked (head-of-line): re-originating it
+        would complete a tour of a ring the destination is not on, and
+        tour-as-ack would then count an undelivered message as done.
+        Parking preserves the no-data-loss story across partitions —
+        the queue drains when the destination re-rosters (ring-up hook)
+        or on the retry timer.
+        """
+        sim = self.router.sim
+        now = sim.now
+        controller = self.controller
+        parked = False
+        while self.queue and controller.may_insert(now):
+            crossing = self.queue[0]
+            if not self._deliverable(crossing):
+                parked = True
+                self.router.counters.incr("egress_parked")
+                break
+            self.queue.popleft()
+            controller.inserted(now)
+            handle = self.gateway.messenger.send_global(
+                crossing.dst,
+                crossing.payload,
+                crossing.channel,
+                origin=crossing.origin,
+            )
+            handle.delivered.callbacks.append(self._confirmed)
+            self.router.counters.incr("egress_tx")
+        depth = len(self.queue)
+        controller.observe_transit_depth(depth)
+        if depth and not self._pump_timer_armed:
+            wake_at = controller.earliest_insert()
+            if parked:
+                # Destination unreachable right now: poll a few tours out
+                # (the ring-up listener usually wakes the queue sooner).
+                self._arm_pump_timer(self.retry_ns)
+            elif wake_at > now and not controller.window_full():
+                # Pacing gap: wake when it ends (confirm callbacks cover
+                # the window-full case).
+                self._arm_pump_timer(wake_at - now)
+
+    def _deliverable(self, crossing: _Crossing) -> bool:
+        if crossing.dst[0] != self.segment_id:
+            return True  # bound for a next-hop router, not a ring member
+        dst_node = crossing.dst[1]
+        if dst_node == BROADCAST:
+            return True
+        roster = self.gateway.roster
+        return roster is not None and dst_node in roster.members
+
+    @property
+    def retry_ns(self) -> int:
+        return max(10 * self.cluster.tour_estimate_ns, 50_000)
+
+    def _arm_pump_timer(self, delay_ns: int) -> None:
+        self._pump_timer_armed = True
+        self.router.sim.call_in(max(delay_ns, 1), self._pump_timer)
+
+    def _pump_timer(self) -> None:
+        self._pump_timer_armed = False
+        self.pump()
+
+    def _confirmed(self, _event) -> None:
+        self.controller.tour_completed()
+        self.pump()
+
+    # ------------------------------------------------------------ queries
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+
+class SegmentRouter:
+    """Joins ring segments into one routed cluster (slide 15's "R")."""
+
+    def __init__(self, router_id: int, config: RouterConfig):
+        self.router_id = router_id
+        self.config = config
+        self.name = f"router-{router_id}"
+        self.ports: Dict[int, RouterPort] = {}
+        #: learned routes: destination segment -> _Route (attached
+        #: segments are implicit metric-0 routes through their port)
+        self.table: Dict[int, _Route] = {}
+        #: gossip/roster liveness per *remote* segment, as advertised
+        self.remote_live: Dict[int, Set[int]] = {}
+        self.counters = Counter()
+        self.sim = None  # bound at first attach
+        self.tracer = None
+        self._reassembly: Dict[Tuple[int, int, int], _Reassembly] = {}
+        self._completed: "OrderedDict[Tuple[int, int, int], None]" = OrderedDict()
+        self._started = False
+
+    # ------------------------------------------------------------- wiring
+    def attach(
+        self, segment_id: int, cluster: "AmpNetCluster", gateway_id: int
+    ) -> RouterPort:
+        """Plug a port into ``segment_id`` via member node ``gateway_id``."""
+        if self._started:
+            raise ValueError("attach before start()")
+        if segment_id in self.ports:
+            raise ValueError(f"segment {segment_id} already attached")
+        if segment_id not in self.config.segments:
+            raise ValueError(f"segment {segment_id} not in this router's config")
+        gateway = cluster.nodes[gateway_id]
+        port = RouterPort(self, segment_id, cluster, gateway)
+        self.ports[segment_id] = port
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        return port
+
+    def start(self) -> None:
+        """Install capture taps and handlers; begin advertising."""
+        missing = set(self.config.segments) - set(self.ports)
+        if missing:
+            raise ValueError(f"unattached segments {sorted(missing)}")
+        self._started = True
+        for port in self.ports.values():
+            gw = port.gateway
+            gw.mac.capture = self._make_capture(port)
+            gw.messenger.on_message(Channel.ROUTING, self._make_ad_rx(port))
+            # A new roster may restore a parked crossing's destination.
+            gw.ring_up_listeners.append(lambda roster, p=port: p.pump())
+            if gw.membership is not None:
+                gw.membership.transition_listeners.append(
+                    lambda state, p=port: self._on_gossip_transition(p, state)
+                )
+        self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
+        self.tracer.record(
+            self.sim.now, "routing", self.name,
+            event="start", ports=tuple(sorted(self.ports)),
+        )
+
+    @property
+    def advertise_period_ns(self) -> int:
+        if self.config.advertise_period_ns is not None:
+            return self.config.advertise_period_ns
+        tour = max(p.cluster.tour_estimate_ns for p in self.ports.values())
+        return max(50 * tour, 200_000)
+
+    # ----------------------------------------------------------- liveness
+    def live_in_segment(self, segment_id: int) -> Set[int]:
+        """Live node ids behind ``segment_id`` as this router knows them.
+
+        Attached segments answer from the gateway's gossip view (or the
+        roster when the cluster runs no membership); remote segments
+        answer from the last advertisement that crossed the router.
+        """
+        port = self.ports.get(segment_id)
+        if port is None:
+            return set(self.remote_live.get(segment_id, ()))
+        gw = port.gateway
+        if gw.membership is not None:
+            return {
+                nid for nid, st in gw.membership.view.states.items()
+                if st.status != PeerStatus.DEAD
+            }
+        roster = port.cluster.current_roster()
+        return set(roster.members) if roster is not None else set()
+
+    def considers_live(self, addr: GlobalAddress) -> bool:
+        return addr[1] in self.live_in_segment(addr[0])
+
+    def _on_gossip_transition(self, port: RouterPort, state) -> None:
+        # The verdict itself lives in the gateway's view; counting it
+        # here keeps an auditable record of gossip feeding the router.
+        self.counters.incr("gossip_transitions_seen")
+
+    # ------------------------------------------------------------ ingress
+    def _make_capture(self, port: RouterPort):
+        segment_id = port.segment_id
+
+        def capture(pkt: MicroPacket, frame) -> None:
+            self._ingest(port, segment_id, pkt)
+
+        return capture
+
+    def _ingest(self, port: RouterPort, segment_id: int, pkt: MicroPacket) -> None:
+        dma = pkt.dma
+        if dma is None or dma.src_segment is None:  # pragma: no cover
+            return  # not a routed fragment; nothing to ferry
+        self.counters.incr("fragments_captured")
+        key = (segment_id, pkt.src, dma.transfer_id)
+        if key in self._completed:
+            self.counters.incr("duplicate_fragments")
+            return
+        state = self._reassembly.get(key)
+        if state is None:
+            state = self._reassembly[key] = _Reassembly()
+        result = state.add(dma.offset, pkt.payload, dma.last, pkt.channel)
+        if result is None:
+            return
+        del self._reassembly[key]
+        self._completed[key] = None
+        if len(self._completed) > _COMPLETED_CACHE:
+            self._completed.popitem(last=False)
+        self.counters.incr("messages_captured")
+        self._forward(
+            ingress=segment_id,
+            origin=(dma.src_segment, dma.src_node),
+            dst=(dma.dst_segment, pkt.dst),
+            payload=result,
+            channel=state.channel,
+        )
+
+    # --------------------------------------------------------- forwarding
+    #: _egress_for verdict: this crossing belongs to another router on
+    #: the ingress ring (its route does not point back out the ingress
+    #: port).  Declining is normal operation, not a loss.
+    _NOT_OURS = -1
+
+    def _forward(
+        self,
+        ingress: int,
+        origin: GlobalAddress,
+        dst: GlobalAddress,
+        payload: bytes,
+        channel: int,
+    ) -> None:
+        egress = self._egress_for(ingress, dst[0])
+        if egress == self._NOT_OURS:
+            # Split horizon: a router nearer the destination (on this
+            # same ring) forwards this one.  Every router on a shared
+            # ring captures every routed frame, so declines are routine
+            # and must never read as data-plane drops.
+            self.counters.incr("split_horizon_declines")
+            return
+        if egress is None:
+            self.counters.incr("unroutable_drop")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="unroutable", dst=dst, ingress=ingress,
+            )
+            return
+        port = self.ports[egress]
+        if not port.enqueue(_Crossing(origin, dst, payload, channel)):
+            self.counters.incr("egress_overflow_drop")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="egress_overflow", dst=dst, egress=egress,
+            )
+
+    def _egress_for(self, ingress: int, dst_segment: int) -> Optional[int]:
+        """Next-hop port for ``dst_segment``.
+
+        Returns the egress port's segment id; ``_NOT_OURS`` when the
+        route points back out the ingress port (another router on that
+        ring serves the crossing — the split-horizon half of loop
+        freedom); ``None`` when no route exists at all.
+        """
+        if dst_segment in self.ports:
+            return dst_segment if dst_segment != ingress else self._NOT_OURS
+        route = self.table.get(dst_segment)
+        if route is None:
+            return None
+        if route.via == ingress:
+            return self._NOT_OURS
+        return route.via
+
+    # ----------------------------------------------------- advertisements
+    def _advertise_tick(self) -> None:
+        for port in self.ports.values():
+            if port.gateway.failed or not port.gateway.ring_up:
+                continue
+            payload = self._encode_ad(port)
+            if payload is None:
+                continue
+            port.gateway.messenger.send(BROADCAST, payload, Channel.ROUTING)
+            self.counters.incr("ads_tx")
+        self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
+
+    def _encode_ad(self, out_port: RouterPort) -> Optional[bytes]:
+        """Reachability advertisement for one segment (split horizon)."""
+        entries: List[Tuple[int, int, Set[int]]] = []
+        for seg, port in self.ports.items():
+            if seg == out_port.segment_id:
+                continue
+            entries.append((seg, 0, self.live_in_segment(seg)))
+        for seg, route in self.table.items():
+            if route.via == out_port.segment_id:
+                continue  # learned from there; do not echo it back
+            entries.append((seg, route.metric, self.live_in_segment(seg)))
+        if not entries:
+            return None
+        out = bytearray([self.router_id & 0xFF, len(entries)])
+        for seg, metric, live in entries:
+            live_ids = sorted(live)[:255]
+            out += bytes([seg, metric, len(live_ids)])
+            out += bytes(live_ids)
+        return bytes(out)
+
+    @staticmethod
+    def _decode_ad(payload: bytes) -> Tuple[int, List[Tuple[int, int, Set[int]]]]:
+        router_id, n_entries = payload[0], payload[1]
+        entries: List[Tuple[int, int, Set[int]]] = []
+        pos = 2
+        for _ in range(n_entries):
+            seg, metric, n_live = payload[pos], payload[pos + 1], payload[pos + 2]
+            pos += 3
+            live = set(payload[pos : pos + n_live])
+            pos += n_live
+            entries.append((seg, metric, live))
+        return router_id, entries
+
+    def _make_ad_rx(self, port: RouterPort):
+        def on_ad(src, payload: bytes, channel: int) -> None:
+            self._on_advertisement(port, src, payload)
+
+        return on_ad
+
+    def _on_advertisement(self, port: RouterPort, src, payload: bytes) -> None:
+        try:
+            router_id, entries = self._decode_ad(payload)
+        except IndexError:
+            self.counters.incr("ads_malformed")
+            return
+        if router_id == self.router_id:
+            return  # our own broadcast touring back is not news
+        self.counters.incr("ads_rx")
+        ingress = port.segment_id
+        for seg, metric, live in entries:
+            if seg in self.ports:
+                continue  # directly attached beats any advertisement
+            cost = metric + 1
+            route = self.table.get(seg)
+            # Take the route when it is new, strictly better, or a
+            # refresh from the router we already route through (whose
+            # metric may legitimately move either way).
+            is_refresh = (
+                route is not None
+                and route.via == ingress
+                and route.router == router_id
+            )
+            if route is None or cost < route.metric or is_refresh:
+                self.table[seg] = _Route(via=ingress, metric=cost, router=router_id)
+                self.remote_live[seg] = set(live)
+                if route is None:
+                    self.counters.incr("routes_learned")
+                    self.tracer.record(
+                        self.sim.now, "routing", self.name,
+                        event="route_learned", segment=seg,
+                        via=ingress, metric=cost,
+                    )
+
+    # ------------------------------------------------------------ queries
+    def backlog(self) -> Dict[int, int]:
+        """Egress queue depth per attached segment (observability)."""
+        return {seg: port.backlog for seg, port in self.ports.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SegmentRouter {self.router_id} ports={sorted(self.ports)} "
+            f"routes={sorted(self.table)}>"
+        )

@@ -1,5 +1,16 @@
 """Declarative scenario engine: spec, runner, and the named library.
 
+A :class:`ScenarioSpec` is plain data — topology, workload mix,
+tour-relative fault storyline, membership flags, invariants — and the
+:class:`ScenarioRunner` turns it into a seeded, replayable experiment
+whose timeline folds into a digest (the golden-trace regression
+contract).  Topologies come in two shapes: a single ring
+(``TopologySpec(n_nodes=..., n_switches=...)``) or a router-joined
+multi-ring cluster (``TopologySpec(segments=[...], routers=[...])``,
+see :mod:`repro.routing`), which is how the library scales past the
+255-node single-ring ceiling (``two_ring_256``, ``four_ring_512``).
+The authoring guide lives in ``docs/scenarios.md``.
+
 Quickstart::
 
     from repro.scenarios import get_scenario, run_scenario
@@ -22,15 +33,24 @@ from .runner import (
     run_scenario,
     trace_digest,
 )
-from .spec import FaultSpec, ScenarioSpec, TopologySpec, WorkloadSpec
+from .spec import (
+    FaultSpec,
+    RouterSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 __all__ = [
     "SCENARIOS",
     "FaultSpec",
     "InvariantResult",
+    "RouterSpec",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "SegmentSpec",
     "TopologySpec",
     "WorkloadSpec",
     "get_scenario",

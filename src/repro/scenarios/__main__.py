@@ -41,19 +41,38 @@ def _print_result(result: ScenarioResult) -> None:
     print(f"       trace digest {result.trace_digest}")
 
 
+def _topology_summary(topo) -> str:
+    """Compact shape tag: ``6n/4sw`` or ``128+128n/1r`` for routed."""
+    if topo.multi_segment:
+        sizes = "+".join(str(s.n_nodes) for s in topo.segments)
+        return f"{sizes}n/{len(topo.routers)}r"
+    return f"{topo.n_nodes}n/{topo.n_switches}sw"
+
+
+def one_line_description(spec) -> str:
+    """The spec's description collapsed to a single line.
+
+    Multi-line description strings used to render their continuation
+    lines under the wrong column (so several list entries *looked*
+    blank); normalizing the whitespace guarantees one honest line per
+    scenario, with a visible placeholder when a spec forgot to describe
+    itself.
+    """
+    return " ".join(spec.description.split()) or "(no description)"
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(n) for n in scenario_names())
     for name in scenario_names():
         spec = SCENARIOS[name]()
-        topo = spec.topology
         tags = []
         if spec.membership:
             tags.append("membership")
         if spec.faults:
             tags.append(f"{len(spec.faults)} faults")
         suffix = f"  [{', '.join(tags)}]" if tags else ""
-        print(f"{name:<{width}}  {topo.n_nodes}n/{topo.n_switches}sw"
-              f"{suffix}\n{'':{width}}  {spec.description}")
+        print(f"{name:<{width}}  {_topology_summary(spec.topology)}{suffix}")
+        print(f"{'':{width}}  {one_line_description(spec)}")
     return 0
 
 

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from .spec import FaultSpec, ScenarioSpec, TopologySpec, WorkloadSpec
+from .spec import (
+    FaultSpec,
+    RouterSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 __all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
 
@@ -268,6 +275,112 @@ def large_ring_256() -> ScenarioSpec:
     )
 
 
+def two_ring_256() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="two_ring_256",
+        description="Past the ceiling: two 128-node rings joined by a "
+                    "segment router give 256 addressable user nodes; "
+                    "reliable traffic crosses in both directions while a "
+                    "local stream shares each ring.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=128), SegmentSpec(n_nodes=128)),
+            routers=(RouterSpec(segments=(0, 1)),),
+        ),
+        seed=7,
+        workloads=(
+            # Each 129-member ring (128 users + 1 gateway) tours in
+            # ~143 us and drains about one insertion per node per tour,
+            # so crossing rates sit at tour scale; counts stay small
+            # because every crossing costs a full tour on each ring
+            # plus the router's store-and-forward.
+            WorkloadSpec("poisson", count=10, src=(0, 0), dst=(1, 64),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 120_000}),
+            WorkloadSpec("message", count=8, src=(1, 5), dst=(0, 100),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 150_000}),
+            WorkloadSpec("message", count=8, src=(0, 30), dst=(0, 90),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 150_000}),
+        ),
+        horizon_tours=25,
+        grace_tours=400,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
+def four_ring_512() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="four_ring_512",
+        description="The star cluster: four 128-node rings on one "
+                    "four-port router — 512 addressable user nodes, "
+                    "double the single-ring ceiling squared away by the "
+                    "global (segment, node) address extension.",
+        topology=TopologySpec(
+            segments=tuple(SegmentSpec(n_nodes=128) for _ in range(4)),
+            routers=(RouterSpec(segments=(0, 1, 2, 3)),),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=6, src=(0, 1), dst=(2, 64),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 150_000}),
+            WorkloadSpec("message", count=6, src=(1, 10), dst=(3, 90),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 180_000}),
+            WorkloadSpec("message", count=6, src=(2, 5), dst=(2, 100),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 150_000}),
+        ),
+        horizon_tours=25,
+        grace_tours=400,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
+def routed_partition_heal() -> ScenarioSpec:
+    # Segment 1 splits internally: nodes 0..3 keep switch 0; nodes 4..7
+    # and the gateway (id 8) keep switch 1.  Crossing traffic for the
+    # gateway's side keeps flowing; traffic for the far side parks in
+    # the router's egress queue until the heal re-rosters the full ring.
+    side_a = (0, 1, 2, 3)
+    switches_a = (0,)
+    return ScenarioSpec(
+        name="routed_partition_heal",
+        description="A partition inside one segment of a routed pair: "
+                    "crossing traffic to the gateway's side keeps "
+                    "flowing, traffic to the split-away side parks in "
+                    "the router's bounded egress queue, and the heal "
+                    "delivers everything — no data loss across rings.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8)),
+            routers=(RouterSpec(segments=(0, 1)),),
+        ),
+        seed=7,
+        membership=True,
+        workloads=(
+            WorkloadSpec("poisson", count=40, src=(0, 1), dst=(1, 5),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 30_000}),
+            WorkloadSpec("poisson", count=30, src=(0, 2), dst=(1, 2),
+                         channel=13, reliable=True,
+                         params={"mean_interval_ns": 40_000}),
+            WorkloadSpec("poisson", count=30, src=(1, 6), dst=(0, 4),
+                         channel=5, reliable=True,
+                         params={"mean_interval_ns": 40_000}),
+        ),
+        faults=(
+            FaultSpec("partition", at_tours=80, segment=1, nodes=side_a,
+                      switches=switches_a),
+            FaultSpec("heal_partition", at_tours=600, segment=1,
+                      nodes=side_a, switches=switches_a),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "membership_view_consistent"),
+        horizon_tours=1400,
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -281,6 +394,9 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         large_ring_64,
         large_ring_128,
         large_ring_256,
+        two_ring_256,
+        four_ring_512,
+        routed_partition_heal,
     )
 }
 

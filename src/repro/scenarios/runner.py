@@ -152,9 +152,18 @@ class ScenarioRunner:
         self.workloads = [
             self._build_workload(w, index) for index, w in enumerate(spec.workloads)
         ]
-        sched = spec.build_fault_schedule(self.ring_up_ns, tour)
-        if sched.actions:
-            sched.arm(cluster)
+        if spec.topology.multi_segment:
+            # Fault ids are segment-local: arm one schedule per segment
+            # against that segment's sub-cluster.
+            for seg_id, sched in spec.build_fault_schedules(
+                self.ring_up_ns, tour
+            ).items():
+                if sched.actions:
+                    sched.arm(cluster.segment(seg_id))
+        else:
+            sched = spec.build_fault_schedule(self.ring_up_ns, tour)
+            if sched.actions:
+                sched.arm(cluster)
         self._phase("armed")
 
         cluster.run(until=self.ring_up_ns + spec.horizon_tours * tour)
@@ -371,14 +380,11 @@ class ScenarioRunner:
             return InvariantResult(
                 "roster_converged", False, "ring not up on every live node"
             )
-        roster = cluster.current_roster()
-        members = set(roster.members)
-        expected = self._live_expected()
-        ok = members == expected
-        return InvariantResult(
-            "roster_converged", ok,
-            "" if ok else f"roster {sorted(members)} != expected {sorted(expected)}",
-        )
+        # Both cluster flavours judge their own roster shape: one ring's
+        # roster against the expected ids, or (routed) every segment's
+        # roster against that segment's expected members.
+        detail = cluster.roster_mismatch(self._live_expected())
+        return InvariantResult("roster_converged", not detail, detail)
 
     def _check_membership_view(self) -> InvariantResult:
         cluster = self.cluster

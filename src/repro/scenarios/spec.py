@@ -21,21 +21,98 @@ scripts never had:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..cluster import AmpNetCluster, ClusterConfig
 from ..faults import FaultSchedule
 
-__all__ = ["TopologySpec", "WorkloadSpec", "FaultSpec", "ScenarioSpec"]
+__all__ = [
+    "SegmentSpec",
+    "RouterSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "ScenarioSpec",
+]
+
+#: Workload/fault addressing: a plain node id on single-segment
+#: topologies, a ``(segment, node)`` pair on multi-segment ones.
+Address = Union[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One ring segment of a multi-segment topology (user nodes only;
+    gateway nodes for attached routers are appended automatically)."""
+
+    n_nodes: int
+    n_switches: int = 2
+    fiber_m: float = 50.0
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """One segment router and the segment indices it joins."""
+
+    segments: Tuple[int, ...]
+    egress_capacity: int = 64
+    egress_window: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segments", tuple(self.segments))
 
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """Physical shape of the segment under test."""
+    """Physical shape of the cluster under test.
+
+    Two mutually exclusive forms:
+
+    * **single segment** (the default): ``n_nodes`` nodes wired to
+      ``n_switches`` switches — every pre-routing scenario, unchanged;
+    * **multi segment**: ``segments`` lists the rings and ``routers``
+      the :class:`~repro.routing.SegmentRouter` attachments joining
+      them into one routed cluster (see :mod:`repro.routing`).  The
+      single-segment fields are ignored in this form.
+    """
 
     n_nodes: int = 6
     n_switches: int = 4
     fiber_m: float = 50.0
+    segments: Tuple[SegmentSpec, ...] = ()
+    routers: Tuple[RouterSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        segments = tuple(
+            s if isinstance(s, SegmentSpec) else SegmentSpec(**dict(s))
+            for s in self.segments
+        )
+        routers = tuple(
+            r if isinstance(r, RouterSpec) else RouterSpec(**dict(r))
+            for r in self.routers
+        )
+        object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "routers", routers)
+        if routers and not segments:
+            raise ValueError("routers need a segments list")
+        for router in routers:
+            for seg in router.segments:
+                if not 0 <= seg < len(segments):
+                    raise ValueError(
+                        f"router references segment {seg}; topology has "
+                        f"segments 0..{len(segments) - 1}"
+                    )
+
+    @property
+    def multi_segment(self) -> bool:
+        return bool(self.segments)
+
+    @property
+    def addressable_nodes(self) -> int:
+        """User-addressable nodes across every segment."""
+        if self.multi_segment:
+            return sum(s.n_nodes for s in self.segments)
+        return self.n_nodes
 
 
 #: Workload kinds the runner knows how to instantiate.
@@ -82,14 +159,24 @@ class WorkloadSpec:
 
     kind: str
     count: int
-    src: Optional[int] = None
-    dst: Optional[int] = None
+    src: Optional[Address] = None
+    dst: Optional[Address] = None
     channel: int = 0
     name: Optional[str] = None
     reliable: bool = False
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Global addresses may arrive as lists from a JSON round-trip.
+        for attr in ("src", "dst"):
+            value = getattr(self, attr)
+            if isinstance(value, (list, tuple)):
+                value = tuple(value)
+                if len(value) != 2:
+                    raise ValueError(
+                        f"{attr} global address must be (segment, node)"
+                    )
+                object.__setattr__(self, attr, value)
         if self.kind not in WORKLOAD_KINDS:
             raise ValueError(
                 f"unknown workload kind {self.kind!r}; "
@@ -135,13 +222,17 @@ class FaultSpec:
 
     ``at_tours`` counts from the moment the initial ring certified, so
     the same storyline lands at the same protocol phase regardless of
-    topology size or fibre length.
+    topology size or fibre length.  On multi-segment topologies
+    ``segment`` names the ring the fault strikes (default: segment 0);
+    node and switch ids are then local to that segment.
     """
 
     kind: str
     at_tours: float
     node: Optional[int] = None
     switch: Optional[int] = None
+    #: target segment on multi-segment topologies (ignored otherwise)
+    segment: int = 0
     #: node ids on side A (partition kinds)
     nodes: Tuple[int, ...] = ()
     #: switch ids granted to side A (partition kinds)
@@ -205,8 +296,9 @@ class ScenarioSpec:
         "no_drops", "all_delivered", "roster_converged",
     )
     #: node ids expected to be dead when the run ends (shapes the
-    #: roster_converged and membership_view_consistent checks)
-    expect_dead: Tuple[int, ...] = ()
+    #: roster_converged and membership_view_consistent checks); global
+    #: ``(segment, node)`` addresses on multi-segment topologies
+    expect_dead: Tuple[Address, ...] = ()
 
     def __post_init__(self) -> None:
         for inv in self.invariants:
@@ -218,25 +310,107 @@ class ScenarioSpec:
             raise ValueError(
                 "membership_view_consistent requires membership=True"
             )
+        multi = self.topology.multi_segment
+        object.__setattr__(
+            self,
+            "expect_dead",
+            tuple(
+                tuple(d) if isinstance(d, (list, tuple)) else d
+                for d in self.expect_dead
+            ),
+        )
         for fault in self.faults:
+            if multi and not 0 <= fault.segment < len(self.topology.segments):
+                raise ValueError(
+                    f"fault targets segment {fault.segment}; topology has "
+                    f"segments 0..{len(self.topology.segments) - 1}"
+                )
             if fault.kind in ("partition", "heal_partition"):
-                if self.topology.n_switches < 2:
+                n_switches = (
+                    self.topology.segments[fault.segment].n_switches
+                    if multi else self.topology.n_switches
+                )
+                if n_switches < 2:
                     raise ValueError("partition scenarios need >= 2 switches")
+        for workload in self.workloads:
+            for attr in ("src", "dst"):
+                addr = getattr(workload, attr)
+                if addr is None:
+                    continue
+                if multi:
+                    if not isinstance(addr, tuple):
+                        raise ValueError(
+                            f"multi-segment workloads address nodes as "
+                            f"(segment, node); got {attr}={addr!r}"
+                        )
+                    seg, _node = addr
+                    if not 0 <= seg < len(self.topology.segments):
+                        raise ValueError(
+                            f"workload {attr} names segment {seg}; topology "
+                            f"has segments 0..{len(self.topology.segments) - 1}"
+                        )
+                elif isinstance(addr, tuple):
+                    raise ValueError(
+                        f"single-segment workloads use plain node ids; "
+                        f"got {attr}={addr!r}"
+                    )
+            if multi and workload.kind == "broadcast":
+                raise ValueError(
+                    "broadcast workloads are per-ring; use one scenario "
+                    "per segment or unicast mixes on routed topologies"
+                )
+            if multi and not workload.reliable:
+                raise ValueError(
+                    "multi-segment workloads must be reliable=True (raw "
+                    "MAC cells carry no global address)"
+                )
 
     # ------------------------------------------------------------- builders
     def with_seed(self, seed: int) -> "ScenarioSpec":
         return replace(self, seed=seed)
 
-    def build_cluster(self, seed: Optional[int] = None) -> AmpNetCluster:
-        """Construct the (not yet started) cluster this spec describes."""
-        return AmpNetCluster(
-            config=ClusterConfig(
-                n_nodes=self.topology.n_nodes,
-                n_switches=self.topology.n_switches,
-                fiber_m=self.topology.fiber_m,
-                seed=self.seed if seed is None else seed,
-                membership=self.membership,
-                membership_liveness=self.membership_liveness,
+    def build_cluster(self, seed: Optional[int] = None):
+        """Construct the (not yet started) cluster this spec describes.
+
+        Returns an :class:`~repro.cluster.AmpNetCluster` for the classic
+        single-segment form, a :class:`~repro.routing.RoutedCluster` for
+        the ``segments``/``routers`` form.
+        """
+        seed = self.seed if seed is None else seed
+        if not self.topology.multi_segment:
+            return AmpNetCluster(
+                config=ClusterConfig(
+                    n_nodes=self.topology.n_nodes,
+                    n_switches=self.topology.n_switches,
+                    fiber_m=self.topology.fiber_m,
+                    seed=seed,
+                    membership=self.membership,
+                    membership_liveness=self.membership_liveness,
+                )
+            )
+        from ..routing import RoutedCluster, RoutedClusterConfig, RouterConfig
+
+        return RoutedCluster(
+            RoutedClusterConfig(
+                segments=[
+                    ClusterConfig(
+                        n_nodes=seg.n_nodes,
+                        n_switches=seg.n_switches,
+                        fiber_m=seg.fiber_m,
+                        membership=self.membership,
+                        membership_liveness=self.membership_liveness,
+                    )
+                    for seg in self.topology.segments
+                ],
+                routers=[
+                    RouterConfig(
+                        segments=r.segments,
+                        egress_capacity=r.egress_capacity,
+                        egress_window=r.egress_window,
+                    )
+                    for r in self.topology.routers
+                ],
+                seed=seed,
             )
         )
 
@@ -246,6 +420,20 @@ class ScenarioSpec:
         for fault in self.faults:
             fault.add_to(sched, origin_ns, tour_ns)
         return sched
+
+    def build_fault_schedules(
+        self, origin_ns: int, tour_ns: int
+    ) -> Dict[int, FaultSchedule]:
+        """Per-segment fault schedules (multi-segment topologies).
+
+        Each schedule is armed against its own segment's sub-cluster, so
+        node and switch ids in a :class:`FaultSpec` stay segment-local.
+        """
+        out: Dict[int, FaultSchedule] = {}
+        for fault in self.faults:
+            sched = out.setdefault(fault.segment, FaultSchedule())
+            fault.add_to(sched, origin_ns, tour_ns)
+        return out
 
     # ---------------------------------------------------------------- misc
     def to_dict(self) -> Dict[str, Any]:

@@ -1,5 +1,12 @@
-"""Reliable messaging and signalling over the ring MAC."""
+"""Reliable messaging and signalling over the ring MAC.
 
-from .messaging import Channel, MessageHandle, Messenger
+The :class:`Messenger` turns the ring's tour-as-ack primitive into
+reliable, fragmenting message delivery (plus single-cell INTERRUPT
+signals) on sixteen channels; on router-joined clusters it also resolves
+``(segment, node)`` :data:`GlobalAddress` destinations (see
+:mod:`repro.routing`).
+"""
 
-__all__ = ["Channel", "MessageHandle", "Messenger"]
+from .messaging import Channel, GlobalAddress, MessageHandle, Messenger
+
+__all__ = ["Channel", "GlobalAddress", "MessageHandle", "Messenger"]

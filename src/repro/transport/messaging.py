@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..micropacket import (
     BROADCAST,
@@ -41,7 +41,12 @@ from ..sim import Counter, Event, Resource
 if TYPE_CHECKING:  # pragma: no cover
     from ..node import AmpNode
 
-__all__ = ["Messenger", "MessageHandle", "Channel"]
+__all__ = ["Messenger", "MessageHandle", "Channel", "GlobalAddress"]
+
+#: Cluster-wide address of a node in a router-joined multi-ring cluster:
+#: ``(segment_id, node_id)``.  Every segment keeps its own 8-bit MAC
+#: space; the segment id disambiguates (see :mod:`repro.routing`).
+GlobalAddress = Tuple[int, int]
 
 
 class Channel:
@@ -58,6 +63,10 @@ class Channel:
     RDMA = 8
     MPI = 9
     MEMBERSHIP = 10
+    #: Reserved by :mod:`repro.routing` on multi-segment clusters for
+    #: router route/liveness advertisements (single-segment clusters may
+    #: use it freely, e.g. as a file-stream channel).
+    ROUTING = 11
     # 14/15 are reserved by AmpDK diagnostics.
 
 
@@ -119,7 +128,9 @@ class _Reassembly:
         return bytes(out)
 
 
-MessageFn = Callable[[int, bytes, int], None]   # (src, payload, channel)
+#: (src, payload, channel) — src is an int node id for same-segment
+#: traffic, a (segment, node) GlobalAddress for ferried traffic.
+MessageFn = Callable[[Union[int, GlobalAddress], bytes, int], None]
 SignalFn = Callable[[int, bytes], None]         # (src, payload8)
 
 
@@ -132,6 +143,10 @@ class Messenger:
         self.name = f"msgr-{node.node_id}"
         self.counters = Counter()
         self.dma_channels = Resource(self.sim, _N_DMA_CHANNELS)
+        #: Segment this node belongs to in a router-joined cluster (set
+        #: by :class:`repro.routing.RoutedCluster`; None = classic
+        #: single-segment operation, where global sends are rejected).
+        self.segment_id: Optional[int] = None
 
         self._next_tid = 1
         self._outgoing: Dict[int, MessageHandle] = {}
@@ -155,12 +170,65 @@ class Messenger:
         self._completed.clear()
 
     # ---------------------------------------------------------------- send
-    def send(self, dst: int, payload: bytes, channel: int = Channel.GENERAL) -> MessageHandle:
+    def send(
+        self,
+        dst: Union[int, GlobalAddress],
+        payload: bytes,
+        channel: int = Channel.GENERAL,
+    ) -> MessageHandle:
         """Queue a reliable message; the handle's event fires on confirm.
 
         ``dst`` may be :data:`~repro.micropacket.BROADCAST`, in which case
-        confirmation means every *current* ring member received it.
+        confirmation means every *current* ring member received it.  On a
+        router-joined cluster ``dst`` may also be a
+        :data:`GlobalAddress` ``(segment, node)``: same-segment addresses
+        short-cut onto the local ring, anything else carries the
+        global-address header extension and is ferried across by the
+        segment routers.  For a routed message the handle confirms
+        *local-ring acceptance* (the frame completed its tour, so a
+        router holds it); end-to-end progress is then the routing
+        layer's store-and-forward responsibility.
         """
+        if isinstance(dst, tuple):
+            return self.send_global(dst, payload, channel)
+        return self._send_fragments(dst, payload, channel, None, None)
+
+    def send_global(
+        self,
+        dst: GlobalAddress,
+        payload: bytes,
+        channel: int = Channel.GENERAL,
+        origin: Optional[GlobalAddress] = None,
+    ) -> MessageHandle:
+        """Send to a ``(segment, node)`` global address.
+
+        ``origin`` is only supplied by the routing layer when it
+        re-originates a message it ferried: the header then preserves
+        the *original* sender's global address instead of naming this
+        (gateway) node, so the receiver can reply across segments.
+        """
+        seg, node = dst
+        if self.segment_id is None:
+            raise ValueError(
+                "global addressing needs a routed cluster "
+                "(this node has no segment id)"
+            )
+        if origin is None:
+            origin = (self.segment_id, self.node.node_id)
+        # Same-segment addresses stay on the local ring (dst_segment
+        # matches, so no router captures the frames), but the extension
+        # still rides along: a handler addressed globally always sees a
+        # global source, wherever the sender happened to live.
+        return self._send_fragments(node, payload, channel, origin, seg)
+
+    def _send_fragments(
+        self,
+        dst: int,
+        payload: bytes,
+        channel: int,
+        origin: Optional[GlobalAddress],
+        dst_segment: Optional[int],
+    ) -> MessageHandle:
         if not payload:
             raise ValueError("empty message")
         if not 0 <= channel <= 0xF:
@@ -171,6 +239,8 @@ class Messenger:
             transfer_id=tid, dst=dst, channel=channel,
             size=len(payload), delivered=self.sim.event(),
         )
+        src_segment = origin[0] if origin is not None else None
+        src_node = origin[1] if origin is not None else None
         self._outgoing[tid] = handle
         for offset in range(0, len(payload), VARIABLE_PAYLOAD_MAX):
             chunk = payload[offset : offset + VARIABLE_PAYLOAD_MAX]
@@ -186,6 +256,9 @@ class Messenger:
                     offset=offset,
                     transfer_id=tid,
                     last=last,
+                    src_segment=src_segment,
+                    src_node=src_node,
+                    dst_segment=dst_segment,
                 ),
             )
             handle.unconfirmed[offset] = pkt
@@ -213,7 +286,17 @@ class Messenger:
         channel: int = Channel.GENERAL,
         priority: bool = True,
     ):
-        """Send a single INTERRUPT cell (<= 8 bytes)."""
+        """Send a single INTERRUPT cell (<= 8 bytes).
+
+        Fixed-format cells have no reserved header bits for the
+        global-address extension, so signals cannot cross segments —
+        wrap cross-segment signalling in a (one-fragment) message.
+        """
+        if isinstance(dst, tuple):
+            raise ValueError(
+                "signals cannot carry a global address (fixed cells "
+                "have no routed header); send a message instead"
+            )
         if len(payload) > 8:
             raise ValueError("signals carry at most eight bytes")
         flags = Flags.PRIORITY if priority else 0
@@ -273,7 +356,15 @@ class Messenger:
         self.counters.incr("messages_received")
         handler = self._message_handlers[state.channel]
         if handler is not None:
-            handler(pkt.src, result, state.channel)
+            # Ferried messages carry the original sender's global
+            # address in the header extension; hand that to the handler
+            # (instead of the re-originating gateway's MAC id) so
+            # replies can cross back.
+            dma = pkt.dma
+            if dma.src_segment is not None:
+                handler((dma.src_segment, dma.src_node), result, state.channel)
+            else:
+                handler(pkt.src, result, state.channel)
 
     def _on_interrupt(self, pkt: MicroPacket, frame) -> None:
         self.counters.incr("signals_received")

@@ -1,5 +1,21 @@
 """Synthetic workloads: message streams, file streams, broadcast storms,
-and seeded stochastic arrival processes."""
+and seeded stochastic arrival processes.
+
+Every generator drives traffic through the public MAC/transport APIs of
+a cluster (single-segment :class:`~repro.cluster.AmpNetCluster` or
+router-joined :class:`~repro.routing.RoutedCluster` — destinations are
+plain node ids on the former, ``(segment, node)`` tuples on the latter)
+and accounts offered/delivered/latency in a :class:`StreamStats`.
+Constant-rate :class:`MessageStream` and :class:`FileStream` cover the
+paper's slide-7 mix; :class:`AllToAllBroadcast` is the slide-8 storm;
+:mod:`repro.workloads.stochastic` adds seeded Poisson,
+inhomogeneous-Poisson (thinning) and burst arrival processes plus
+bounded-Pareto heavy-tailed payload sizes.  All randomness draws from
+named ``sim.rng`` streams, so workloads never perturb each other and
+every run replays bit-identically under its seed.  Generators own the
+receive handlers they install and release them in ``close()``, letting
+sequential workloads share one cluster without double-counting.
+"""
 
 from .generators import (
     AllToAllBroadcast,

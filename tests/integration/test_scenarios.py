@@ -36,17 +36,23 @@ ALL_NAMES = (
     "large_ring_64",
     "large_ring_128",
     "large_ring_256",
+    "two_ring_256",
+    "four_ring_512",
+    "routed_partition_heal",
 )
 
+#: Production-scale entries too expensive for the run+replay double
+#: execution; they get a single invariants run below.
+LARGE_NAMES = ("large_ring_128", "large_ring_256", "two_ring_256",
+               "four_ring_512")
+
 #: Entries cheap enough for the run+replay double execution.
-REPLAY_NAMES = tuple(
-    n for n in ALL_NAMES if n not in ("large_ring_128", "large_ring_256")
-)
+REPLAY_NAMES = tuple(n for n in ALL_NAMES if n not in LARGE_NAMES)
 
 
 def test_library_is_fully_covered():
     assert set(scenario_names()) == set(ALL_NAMES)
-    assert len(ALL_NAMES) >= 10
+    assert len(ALL_NAMES) >= 13
 
 
 @pytest.mark.parametrize("name", REPLAY_NAMES)
@@ -61,10 +67,11 @@ def test_named_scenario_invariants_and_replay(name):
     assert second.counters == first.counters
 
 
-@pytest.mark.parametrize("name", ("large_ring_128", "large_ring_256"))
+@pytest.mark.parametrize("name", LARGE_NAMES)
 def test_large_ring_scenarios_run_green(name):
-    """The hot-path refactor's capstone: production-scale rings run
-    end to end with full delivery and zero drops inside the suite."""
+    """The production-scale capstones — single rings at the 8-bit
+    ceiling and router-joined clusters beyond it — run end to end with
+    full delivery and zero drops inside the suite."""
     result = run_scenario(get_scenario(name))
     assert result.ok, f"{name}: {[i.detail for i in result.failures()]}"
     assert result.counters["offered"] > 0

@@ -1,0 +1,85 @@
+"""The global-address header extension in the DMA control block.
+
+Routed clusters carry ``(segment, node)`` addresses in bits that were
+reserved (zero) before the extension, so the pre-routing wire format is
+byte-identical for local traffic — the property every golden digest and
+the F1 layout figures rely on.
+"""
+
+import pytest
+
+from repro.micropacket import (
+    MAX_SEGMENT,
+    ROUTED_OFFSET_MAX,
+    DmaControl,
+    MicroPacket,
+    MicroPacketType,
+)
+from repro.micropacket.serialize import pack, unpack
+
+
+def test_unrouted_pack_is_byte_identical_to_pre_extension_format():
+    dma = DmaControl(channel=2, offset=0x1000, transfer_id=7, last=True)
+    raw = dma.pack()
+    assert raw == bytes([2, 1]) + (0x1000).to_bytes(4, "little") + (7).to_bytes(2, "little")
+    assert not dma.routed
+
+
+def test_routed_roundtrip_preserves_global_addresses():
+    dma = DmaControl(
+        channel=5, offset=0x123456, transfer_id=0xBEEF, last=True,
+        src_segment=3, src_node=200, dst_segment=MAX_SEGMENT,
+    )
+    assert dma.routed
+    back = DmaControl.unpack(dma.pack())
+    assert back == dma
+
+
+def test_routed_bits_live_in_previously_reserved_positions():
+    plain = DmaControl(channel=5, offset=0x123456, transfer_id=1)
+    routed = DmaControl(
+        channel=5, offset=0x123456, transfer_id=1,
+        src_segment=0, src_node=9, dst_segment=1,
+    )
+    p, r = plain.pack(), routed.pack()
+    # Low nibbles / offset low bytes / transfer id are untouched.
+    assert p[0] & 0xF == r[0] & 0xF
+    assert p[1] & 0x1 == r[1] & 0x1
+    assert p[2:5] == r[2:5]
+    assert p[6:8] == r[6:8]
+    # The extension occupies exactly the reserved high nibbles + byte 5.
+    assert r[0] >> 4 == 2       # dst_segment + 1
+    assert r[1] >> 4 == 1       # src_segment + 1
+    assert r[5] == 9            # src_node (offset top byte reclaimed)
+
+
+def test_full_packet_roundtrip_with_extension():
+    pkt = MicroPacket(
+        ptype=MicroPacketType.DMA, src=17, dst=64, payload=bytes(range(12)),
+        dma=DmaControl(channel=1, offset=64, transfer_id=3,
+                       src_segment=2, src_node=17, dst_segment=0),
+    )
+    assert unpack(pack(pkt), payload_len=12) == pkt
+
+
+def test_offset_cap_for_routed_packets():
+    DmaControl(channel=0, offset=ROUTED_OFFSET_MAX, src_segment=0, src_node=1)
+    with pytest.raises(ValueError, match="24-bit offset"):
+        DmaControl(channel=0, offset=ROUTED_OFFSET_MAX + 1,
+                   src_segment=0, src_node=1)
+    # Unrouted packets keep the full u32 offset range.
+    DmaControl(channel=0, offset=0xFFFF_FFFF)
+
+
+def test_segment_range_validation():
+    with pytest.raises(ValueError, match="segment id"):
+        DmaControl(channel=0, offset=0, dst_segment=MAX_SEGMENT + 1)
+    with pytest.raises(ValueError, match="segment id"):
+        DmaControl(channel=0, offset=0, src_segment=-1, src_node=0)
+
+
+def test_src_address_is_all_or_nothing():
+    with pytest.raises(ValueError, match="set both or neither"):
+        DmaControl(channel=0, offset=0, src_segment=1)
+    with pytest.raises(ValueError, match="set both or neither"):
+        DmaControl(channel=0, offset=0, src_node=1)

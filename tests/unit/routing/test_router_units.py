@@ -1,0 +1,140 @@
+"""Unit-level checks of the routing layer's pure logic.
+
+Forwarding-table updates, advertisement encoding, egress backpressure
+algebra and build-time topology validation — everything that does not
+need a live multi-segment simulation (that lives in
+``tests/integration/test_routing.py``).
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.routing import RoutedClusterConfig, RouterConfig, SegmentRouter
+from repro.routing.router import _Route
+
+
+# ----------------------------------------------------------- RouterConfig
+def test_router_needs_two_distinct_segments():
+    with pytest.raises(ValueError, match="at least two"):
+        RouterConfig(segments=(0,))
+    with pytest.raises(ValueError, match="twice"):
+        RouterConfig(segments=(0, 0))
+
+
+def test_egress_knobs_validated():
+    with pytest.raises(ValueError, match="egress capacity"):
+        RouterConfig(segments=(0, 1), egress_capacity=0)
+    with pytest.raises(ValueError, match="egress window"):
+        RouterConfig(segments=(0, 1), egress_window=0)
+
+
+# ----------------------------------------------- RoutedClusterConfig shape
+def _segs(n):
+    return [ClusterConfig(n_nodes=3, n_switches=2) for _ in range(n)]
+
+
+def test_router_graph_must_be_a_tree():
+    # Two routers between the same pair of segments form a cycle.
+    with pytest.raises(ValueError, match="cycle"):
+        RoutedClusterConfig(
+            segments=_segs(2),
+            routers=[RouterConfig(segments=(0, 1)),
+                     RouterConfig(segments=(0, 1))],
+        )
+    # A triangle of segments is a cycle too.
+    with pytest.raises(ValueError, match="cycle"):
+        RoutedClusterConfig(
+            segments=_segs(3),
+            routers=[RouterConfig(segments=(0, 1)),
+                     RouterConfig(segments=(1, 2)),
+                     RouterConfig(segments=(2, 0))],
+        )
+    # A star and a chain are fine.
+    RoutedClusterConfig(
+        segments=_segs(4), routers=[RouterConfig(segments=(0, 1, 2, 3))]
+    )
+    RoutedClusterConfig(
+        segments=_segs(3),
+        routers=[RouterConfig(segments=(0, 1)), RouterConfig(segments=(1, 2))],
+    )
+
+
+def test_unknown_segment_reference_rejected():
+    with pytest.raises(ValueError, match="references segment"):
+        RoutedClusterConfig(
+            segments=_segs(2), routers=[RouterConfig(segments=(0, 5))]
+        )
+
+
+def test_segment_member_ceiling_enforced():
+    with pytest.raises(ValueError, match="255-member"):
+        RoutedClusterConfig(
+            segments=[ClusterConfig(n_nodes=255, n_switches=2),
+                      ClusterConfig(n_nodes=4, n_switches=2)],
+            routers=[RouterConfig(segments=(0, 1))],
+        )
+
+
+def test_gateway_ids_follow_user_nodes():
+    cfg = RoutedClusterConfig(
+        segments=_segs(3),
+        routers=[RouterConfig(segments=(0, 1)), RouterConfig(segments=(1, 2))],
+    )
+    # Segment 1 hosts both routers: gateway ids 3 and 4.
+    assert cfg.gateways_of(1) == [(0, 3), (1, 4)]
+    assert cfg.gateways_of(0) == [(0, 3)]
+    assert cfg.gateways_of(2) == [(1, 3)]
+
+
+# ------------------------------------------------------- ad wire format
+def test_advertisement_roundtrip():
+    router = SegmentRouter(3, RouterConfig(segments=(0, 1)))
+    payload = bytes([3, 2,
+                     0, 0, 3, 1, 2, 9,
+                     2, 1, 0])
+    rid, entries = router._decode_ad(payload)
+    assert rid == 3
+    assert entries == [(0, 0, {1, 2, 9}), (2, 1, set())]
+
+
+# ------------------------------------------------------ forwarding table
+def test_egress_resolution_and_split_horizon():
+    router = SegmentRouter(0, RouterConfig(segments=(0, 1)))
+    router.ports = {0: object(), 1: object()}  # port objects unused here
+    router.table = {2: _Route(via=1, metric=1, router=7)}
+    # Directly attached wins; never back out the ingress port (that is
+    # a decline — another router serves it — not a routing failure).
+    assert router._egress_for(0, 1) == 1
+    assert router._egress_for(1, 1) == SegmentRouter._NOT_OURS
+    # Learned route, unless it points back where the frame came from.
+    assert router._egress_for(0, 2) == 1
+    assert router._egress_for(1, 2) == SegmentRouter._NOT_OURS
+    # Unknown destination segment: genuinely unroutable.
+    assert router._egress_for(0, 9) is None
+
+
+def test_advertisement_updates_table_with_distance_vector():
+    router = SegmentRouter(0, RouterConfig(segments=(0, 1)))
+
+    class _FakeSim:
+        now = 0
+
+    class _FakeTracer:
+        def record(self, *args, **kwargs):
+            pass
+
+    class _FakePort:
+        segment_id = 1
+
+    router.sim = _FakeSim()
+    router.tracer = _FakeTracer()
+    port = _FakePort()
+    ad = bytes([7, 1, 3, 0, 2, 4, 5])  # router 7: segment 3, metric 0, live {4,5}
+    router._on_advertisement(port, src=2, payload=ad)
+    assert router.table[3].via == 1
+    assert router.table[3].metric == 1
+    assert router.remote_live[3] == {4, 5}
+    assert router.counters["routes_learned"] == 1
+    # Our own advertisement touring back must not create routes.
+    router._on_advertisement(port, src=2, payload=bytes([0, 1, 9, 0, 0]))
+    assert 9 not in router.table

@@ -1,0 +1,40 @@
+"""The scenario CLI's ``list`` output: one honest line per scenario."""
+
+from repro.scenarios import SCENARIOS, scenario_names
+from repro.scenarios.__main__ import cmd_list, one_line_description
+
+
+def test_every_library_scenario_has_a_description():
+    for name, factory in SCENARIOS.items():
+        assert factory().description.strip(), f"{name} has no description"
+
+
+def test_list_prints_every_name_with_a_nonblank_description(capsys):
+    assert cmd_list(None) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 2 * len(SCENARIOS)
+    for i, name in enumerate(scenario_names()):
+        header, description = lines[2 * i], lines[2 * i + 1]
+        assert header.startswith(name)
+        assert description.strip(), f"{name} rendered a blank description"
+        # One line per scenario, however the spec wrapped its docstring.
+        assert "\n" not in description
+
+
+def test_description_normalization():
+    class Spec:
+        description = "  spread\n   over\n   lines  "
+
+    assert one_line_description(Spec()) == "spread over lines"
+
+    class Blank:
+        description = ""
+
+    assert one_line_description(Blank()) == "(no description)"
+
+
+def test_routed_topology_summary(capsys):
+    cmd_list(None)
+    out = capsys.readouterr().out
+    assert "128+128n/1r" in out      # two_ring_256
+    assert "128+128+128+128n/1r" in out  # four_ring_512

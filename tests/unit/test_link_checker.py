@@ -1,0 +1,47 @@
+"""The docs link checker: catches dead links, blesses live ones."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+CHECKER = REPO / "tools" / "check_links.py"
+
+
+def run(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *map(str, args)],
+        capture_output=True, text=True,
+    )
+
+
+def test_repo_docs_are_link_clean():
+    result = run(REPO / "README.md", REPO / "docs", REPO / "examples" / "README.md")
+    assert result.returncode == 0, result.stderr
+
+
+def test_dead_file_link_fails(tmp_path):
+    (tmp_path / "a.md").write_text("see [b](missing.md)\n")
+    result = run(tmp_path)
+    assert result.returncode == 1
+    assert "dead link -> missing.md" in result.stderr
+
+
+def test_missing_anchor_fails(tmp_path):
+    (tmp_path / "a.md").write_text("# Only Heading\n[x](a.md#other-heading)\n")
+    result = run(tmp_path)
+    assert result.returncode == 1
+    assert "missing anchor" in result.stderr
+
+
+def test_good_anchor_and_external_links_pass(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "# My Heading: nice!\n"
+        "[self](#my-heading-nice)\n"
+        "[other](b.md#sub-part)\n"
+        "[ext](https://example.com/x)\n"
+        "```\n[not a link](nowhere.md)\n```\n"
+    )
+    (tmp_path / "b.md").write_text("## Sub part\n")
+    result = run(tmp_path)
+    assert result.returncode == 0, result.stderr

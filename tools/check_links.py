@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repository's markdown docs.
+
+Standard library only, so CI (and a bare checkout) can run it with no
+installs::
+
+    python tools/check_links.py README.md docs examples/README.md
+
+Checks every ``[text](target)`` link in the given files (directories
+are scanned recursively for ``*.md``):
+
+* intra-repo file links must point at an existing file or directory,
+  resolved relative to the markdown file containing the link;
+* ``#fragment`` anchors (same-file or cross-file) must match a heading
+  in the target document, using GitHub's slug rules;
+* external links (``http(s)://``, ``mailto:``) are *not* fetched —
+  this gate is about the repo's own tree staying navigable.
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link is
+reported with its file and line).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Set, Tuple
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.M)
+FENCE_RE = re.compile(r"```.*?```", re.S)
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def heading_slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)   # code spans keep content
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> Set[str]:
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {heading_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def links_of(path: pathlib.Path) -> List[Tuple[int, str]]:
+    """(line_number, target) for every markdown link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    # Blank out code so samples like [i](x) never count as links, while
+    # preserving offsets for line numbers.
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = FENCE_RE.sub(blank, text)
+    text = INLINE_CODE_RE.sub(blank, text)
+    out = []
+    for match in LINK_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        out.append((line, match.group(1)))
+    return out
+
+
+def gather(args: Iterable[str]) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for arg in args:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check(args: Iterable[str]) -> List[str]:
+    failures: List[str] = []
+    for md in gather(args):
+        if not md.exists():
+            failures.append(f"{md}: file does not exist")
+            continue
+        for line, target in links_of(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part)
+            if not dest.exists():
+                failures.append(f"{md}:{line}: dead link -> {target}")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor not in anchors_of(dest):
+                    failures.append(
+                        f"{md}:{line}: missing anchor -> {target}"
+                    )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = check(argv)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    checked = len(gather(argv))
+    if failures:
+        print(f"{len(failures)} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} markdown file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
