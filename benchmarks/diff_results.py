@@ -19,7 +19,10 @@ experiment:
 * **row drift** — numeric cells of rows whose first column (the row
   key: node count, stream name, ...) matches across both trees.
 * **coverage changes** — experiments present on only one side, and rows
-  or metrics added/removed.
+  or metrics added/removed.  An emission present in OLD but missing
+  entirely from NEW is a **failure** (a deleted or silently-skipped
+  bench must not read as "no drift"); pass ``--allow-missing`` when the
+  removal is intentional.
 
 Experiments whose ``params`` differ are *skipped*, not compared: a
 changed setup (smoke sizes, different workload) makes numbers
@@ -160,24 +163,28 @@ def diff_trees(
     new_dir: pathlib.Path,
     tolerance: float = DEFAULT_TOLERANCE,
     volatile_tolerance: float = DEFAULT_VOLATILE_TOLERANCE,
-) -> Tuple[List[Drift], List[str]]:
+) -> Tuple[List[Drift], List[str], List[str]]:
+    """-> (drifts, notes, missing): ``missing`` lists experiments whose
+    emission exists in OLD but vanished from NEW — coverage loss, which
+    ``--check`` treats as a failure unless ``--allow-missing``."""
     old_tree = load_tree(old_dir)
     new_tree = load_tree(new_dir)
     drifts: List[Drift] = []
     notes: List[str] = []
+    missing: List[str] = []
     for exp in sorted(set(old_tree) | set(new_tree)):
         if exp not in old_tree:
             notes.append(f"  note {exp}: new experiment (no old emission)")
             continue
         if exp not in new_tree:
-            notes.append(f"  note {exp}: missing from new tree")
+            missing.append(exp)
             continue
         exp_drifts, exp_notes = compare_exp(
             exp, old_tree[exp], new_tree[exp], tolerance, volatile_tolerance
         )
         drifts.extend(exp_drifts)
         notes.extend(exp_notes)
-    return drifts, notes
+    return drifts, notes, missing
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -192,7 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="relative drift allowed for wall-clock-derived "
                              f"metrics (default {DEFAULT_VOLATILE_TOLERANCE})")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 when any drift is flagged")
+                        help="exit 1 when any drift (or missing "
+                             "emission) is flagged")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate emissions present in OLD but "
+                             "absent from NEW (intentional bench "
+                             "removal)")
     args = parser.parse_args(argv)
 
     for path in (args.old_dir, args.new_dir):
@@ -200,20 +212,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"not a directory: {path}", file=sys.stderr)
             return 2
 
-    drifts, notes = diff_trees(
+    drifts, notes, missing = diff_trees(
         args.old_dir, args.new_dir,
         tolerance=args.tolerance,
         volatile_tolerance=args.volatile_tolerance,
     )
     for note in notes:
         print(note)
+    if args.allow_missing:
+        for exp in missing:
+            print(f"  note {exp}: missing from new tree (allowed)")
+        missing = []
+    else:
+        for exp in missing:
+            print(f"  [MISSING] {exp}: present in OLD, no emission in NEW "
+                  "(deleted bench? pass --allow-missing if intentional)")
     for drift in drifts:
         print(drift)
-    if not drifts:
+    if not drifts and not missing:
         print(f"ok: no metric drift beyond tolerance "
               f"({args.old_dir} vs {args.new_dir})")
         return 0
-    print(f"{len(drifts)} drift(s) flagged")
+    flagged = []
+    if drifts:
+        flagged.append(f"{len(drifts)} drift(s)")
+    if missing:
+        flagged.append(f"{len(missing)} missing emission(s)")
+    print(" + ".join(flagged) + " flagged")
     return 1 if args.check else 0
 
 

@@ -22,15 +22,24 @@ This package is that architecture step:
 The wire-level global address rides in reserved bits of the MicroPacket
 DMA control block (see :class:`repro.micropacket.DmaControl`); routers
 learn their forwarding tables from membership/roster liveness crossing
-the router as periodic route advertisements on
-``Channel.ROUTING``.  See ``docs/architecture.md`` for the layer
-diagram.
+the router as periodic route advertisements on ``Channel.ROUTING`` —
+and *age* them: a route that stops being refreshed is withdrawn.
+
+Router graphs may be cyclic: redundant routers joining the same
+segments run a spanning-tree election over the same advertisements
+(deterministic ``(priority, router_id)`` bridge ids), blocking surplus
+ports while they keep listening.  A dead router's silence past the miss
+deadline re-converges the tree, the backup's shadow-parked crossings
+are promoted, and origin-keyed duplicate suppression in the messenger
+makes the failover exactly-once.  See ``docs/architecture.md`` for the
+layer diagram and the failover walk-through.
 """
 
 from .cluster import RoutedCluster, RoutedClusterConfig
-from .router import RouterConfig, SegmentRouter
+from .router import PortRole, RouterConfig, SegmentRouter
 
 __all__ = [
+    "PortRole",
     "RoutedCluster",
     "RoutedClusterConfig",
     "RouterConfig",

@@ -14,11 +14,17 @@ resolves tuple destinations (same-segment addresses short-cut onto the
 local ring), and the workload generators work unchanged because the
 dict-lookup / messenger APIs are identical.
 
-Build-time validation guarantees the router graph is a *tree* (the
-forwarding layer has no TTL, so a cyclic segment graph could circulate
-a message forever) and that every segment — user nodes plus gateways —
-stays within the 255-member ring ceiling that motivates this package in
-the first place.
+The router graph may contain **cycles** — two routers joining the same
+segment pair is exactly how the cluster survives a router death.  Loop
+freedom is the spanning-tree protocol's job at run time (see
+:mod:`repro.routing.router`): redundant ports are blocked, a dead
+router's silence re-converges the tree, and this class exposes the
+resulting graph-role state (:meth:`RoutedCluster.designated_router`,
+:meth:`RoutedCluster.spanning_tree_converged`) plus the router fault
+hooks (:meth:`RoutedCluster.crash_router` /
+:meth:`RoutedCluster.recover_router`).  Build-time validation still
+pins every segment — user nodes plus gateways — within the 255-member
+ring ceiling that motivates this package in the first place.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from ..cluster import AmpNetCluster, ClusterConfig
 from ..micropacket import MAX_SEGMENT
 from ..sim import ConvergenceTracker, SimulationError, Simulator, Tracer
 from ..transport import GlobalAddress
-from .router import RouterConfig, SegmentRouter
+from .router import PortRole, RouterConfig, SegmentRouter
 
 __all__ = ["RoutedCluster", "RoutedClusterConfig"]
 
@@ -57,16 +63,9 @@ class RoutedClusterConfig:
                 f"at most {MAX_SEGMENT + 1} segments are addressable "
                 "(4-bit segment field)"
             )
-        # Union-find over segments; every router edge must join two
-        # previously-disconnected components, i.e. the graph is a forest.
-        parent = list(range(n_seg))
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
+        # Cycles are allowed (that is what router redundancy *is*); the
+        # spanning-tree election blocks the surplus ports at run time.
+        # Only referential integrity is checked here.
         for router in self.routers:
             for seg in router.segments:
                 if not 0 <= seg < n_seg:
@@ -74,15 +73,6 @@ class RoutedClusterConfig:
                         f"router references segment {seg}; cluster has "
                         f"segments 0..{n_seg - 1}"
                     )
-            anchor = router.segments[0]
-            for seg in router.segments[1:]:
-                ra, rb = find(anchor), find(seg)
-                if ra == rb:
-                    raise ValueError(
-                        "router graph has a cycle (the forwarding layer "
-                        "requires a tree of segments)"
-                    )
-                parent[rb] = ra
         for si, seg_cfg in enumerate(self.segments):
             total = seg_cfg.n_nodes + sum(
                 1 for r in self.routers if si in r.segments
@@ -191,6 +181,94 @@ class RoutedCluster:
         if self.all_rings_up():
             return self.sim.now
         raise SimulationError("some segment's ring did not come up in time")
+
+    # -------------------------------------------------------------- faults
+    def crash_router(self, router_index: int) -> None:
+        """Power-fail a router: its state dies with it, and every
+        gateway node it holds goes dark (each segment re-rosters).
+
+        A redundant router's blocked ports detect the silence — missed
+        advertisement deadline — and the spanning tree re-converges
+        around the corpse.
+        """
+        router = self.routers[router_index]
+        router.crash()
+        for seg_id, port in router.ports.items():
+            self.segments[seg_id].crash_node(port.gateway.node_id)
+
+    def recover_router(self, router_index: int) -> None:
+        """Power the router back on: gateways rejoin their rings, and
+        the router re-enters the election with cold state."""
+        router = self.routers[router_index]
+        for seg_id, port in router.ports.items():
+            self.segments[seg_id].recover_node(port.gateway.node_id)
+        router.recover()
+
+    # --------------------------------------------------- spanning-tree view
+    def live_routers(self) -> List[SegmentRouter]:
+        return [r for r in self.routers if not r.failed]
+
+    def designated_router(self, segment_id: int) -> Optional[int]:
+        """The live router currently designated to forward on a segment
+        (None while the election is unsettled or nothing is attached)."""
+        claimants = [
+            r.router_id
+            for r in self.live_routers()
+            if segment_id in r.ports
+            and r.ports[segment_id].designated
+            and r.ports[segment_id].role is PortRole.FORWARDING
+        ]
+        return claimants[0] if len(claimants) == 1 else None
+
+    def spanning_tree_converged(self) -> bool:
+        """True when every live router agrees on its *component's* root
+        and every attached segment has exactly one designated live
+        router — the failover benchmark's convergence predicate.
+
+        Roots are judged per connected component: a forest of disjoint
+        router islands (legal to build) converges when each island has
+        settled on its own best bridge, not on one global minimum no
+        island can see across the gap.
+        """
+        live = self.live_routers()
+        if not live:
+            return True
+        # Union segments through each live router's ports to find the
+        # connected components of the (possibly disjoint) graph.
+        parent = list(range(len(self.segments)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for router in live:
+            segs = sorted(router.ports)
+            for seg in segs[1:]:
+                parent[find(seg)] = find(segs[0])
+        component_root: Dict[int, Tuple[int, int]] = {}
+        for router in live:
+            comp = find(min(router.ports))
+            best = component_root.get(comp)
+            if best is None or router.bid < best:
+                component_root[comp] = router.bid
+        for router in live:
+            if router.root != component_root[find(min(router.ports))]:
+                return False
+        for seg_id in range(len(self.segments)):
+            if any(seg_id in r.ports for r in live):
+                if self.designated_router(seg_id) is None:
+                    return False
+        return True
+
+    def port_roles(self) -> Dict[Tuple[int, int], str]:
+        """``(router_id, segment_id) -> role`` for every live port."""
+        return {
+            (r.router_id, seg): role
+            for r in self.live_routers()
+            for seg, role in r.port_roles().items()
+        }
 
     # ------------------------------------------------------------- queries
     @property

@@ -4,7 +4,8 @@ One :class:`SegmentRouter` owns one *port* per attached segment.  A port
 is a gateway node — a full ring member of that segment with its own MAC
 and messenger — plus the router-side state: a bounded egress queue, an
 insertion controller governing how fast ferried traffic may be
-re-originated, and the liveness view of the segment behind the port.
+re-originated, the liveness view of the segment behind the port, and a
+spanning-tree role (forwarding or blocked).
 
 Data path (ingress -> egress)::
 
@@ -15,9 +16,10 @@ Data path (ingress -> egress)::
          touring ring A)    v      | the origin address
               reassemble fragments | preserved in the
               forwarding table     | header extension
+              role gate            |
               egress queue --------+
 
-Three properties worth calling out:
+Four properties worth calling out:
 
 * **Tour-as-ack is preserved per segment.**  The captured frame still
   circulates back to its inserter, whose messenger sees a completed
@@ -30,22 +32,38 @@ Three properties worth calling out:
   a pacing gap that backs off multiplicatively as the queue backs up
   (``observe_transit_depth`` fed with the queue depth) — the exact
   slide-8 mechanism, applied one layer up.
-* **Forwarding tables are learned, not configured.**  Every advertise
-  period a router broadcasts, into each attached segment, the segments
-  it can reach (with hop metric) and the live node ids behind them —
-  liveness taken from the gateway's gossip membership view when the
-  cluster runs one, from the roster otherwise.  Routers hearing an
-  advertisement learn ``dst segment -> next hop port``  (distance
-  vector with split horizon), so membership crossing the router is
-  exactly what builds the tables.  The router graph must be loop-free
-  (a tree), which :class:`~repro.routing.cluster.RoutedClusterConfig`
-  validates at build time.
+* **Forwarding tables are learned, not configured — and they age.**
+  Every advertise period a router broadcasts, into each attached
+  segment, the segments it can reach (with hop metric) and the live
+  node ids behind them — liveness taken from the gateway's gossip
+  membership view when the cluster runs one, from the roster otherwise.
+  Routers hearing an advertisement learn ``dst segment -> next hop
+  port`` (distance vector with split horizon).  A route that is not
+  refreshed within the miss deadline is *withdrawn*, so a dead next-hop
+  router stops attracting traffic instead of silently blackholing it.
+* **Redundant routers run a spanning-tree protocol.**  The router graph
+  may contain cycles (two routers joining the same segment pair, ring
+  triangles, ...).  Each advertisement carries the sender's bridge id
+  ``(priority, router_id)`` plus its current root claim and root cost;
+  from those, every router deterministically elects the root, a root
+  port, and a *designated* router per segment — exactly classic STP
+  with segments as LANs and routers as bridges.  Ports that are neither
+  designated nor the root port are **blocked**: they keep listening to
+  advertisements (that is how a dead neighbour is detected — its ads
+  stop arriving before the miss deadline) but do not actively forward.
+  Crossings a blocked router captures are *shadow-parked* instead of
+  dropped; when the designated router dies and the roles re-converge,
+  the shadow is promoted and re-forwarded.  End-to-end duplicate
+  suppression (the messenger keys ferried transfers by the origin's
+  global address and transfer id) turns that at-least-once replay into
+  exactly-once delivery across a single router failure.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..membership import PeerStatus
@@ -60,10 +78,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..cluster import AmpNetCluster
     from ..node import AmpNode
 
-__all__ = ["RouterConfig", "SegmentRouter"]
+__all__ = ["PortRole", "RouterConfig", "SegmentRouter"]
 
 #: Remembered completed crossings (dedup of late duplicate fragments).
 _COMPLETED_CACHE = 4096
+
+#: Wire resolution of the advertised period / root-age fields (u16 each
+#: -> 655 ms range at 10 us per unit, far past any advertise period).
+_AGE_UNIT_NS = 10_000
+
+
+class PortRole(Enum):
+    """Spanning-tree verdict for one router port."""
+
+    FORWARDING = "forwarding"
+    BLOCKED = "blocked"
 
 
 @dataclass(frozen=True)
@@ -79,6 +108,25 @@ class RouterConfig:
     #: route/liveness advertisement period; None = derived from the
     #: largest attached segment's tour estimate
     advertise_period_ns: Optional[int] = None
+    #: spanning-tree election priority (lower wins; ties broken by
+    #: router id).  The default leaves room on both sides.
+    priority: int = 128
+    #: advertise periods a peer router (or learned route) may stay
+    #: silent before it is declared dead and withdrawn
+    miss_deadline_periods: int = 3
+    #: advertise periods a *root claim* may age before it is discarded
+    #: (classic STP Max Age).  Peer expiry handles a dead neighbour;
+    #: this bound handles a dead root two-plus hops of routers away,
+    #: whose stale claim surviving routers would otherwise echo to each
+    #: other forever.  Ads carry the claim's age and it keeps growing
+    #: while it is only being relayed, so the ghost dies within the
+    #: bound and the election falls back to the live bridges.
+    max_root_age_periods: int = 8
+    #: shadow-parking buffer depth; None = 4x egress_capacity
+    shadow_capacity: Optional[int] = None
+    #: advertise periods a shadow-parked crossing is retained, covering
+    #: the failure-detection window with margin
+    shadow_ttl_periods: int = 12
 
     def __post_init__(self) -> None:
         segs = tuple(self.segments)
@@ -91,6 +139,21 @@ class RouterConfig:
             raise ValueError("egress capacity must be >= 1")
         if self.egress_window < 1:
             raise ValueError("egress window must be >= 1")
+        if not 0 <= self.priority <= 255:
+            raise ValueError("router priority must fit one byte (0..255)")
+        if self.miss_deadline_periods < 1:
+            raise ValueError("miss deadline must be >= 1 advertise period")
+        if self.max_root_age_periods <= self.miss_deadline_periods:
+            raise ValueError(
+                "max root age must exceed the miss deadline (direct "
+                "neighbour death is the peer-expiry path)"
+            )
+        if self.shadow_capacity is not None and self.shadow_capacity < 1:
+            raise ValueError("shadow capacity must be >= 1")
+        if self.shadow_ttl_periods < self.miss_deadline_periods:
+            raise ValueError(
+                "shadow TTL must cover the failure-detection deadline"
+            )
 
 
 @dataclass
@@ -101,15 +164,46 @@ class _Crossing:
     dst: GlobalAddress
     payload: bytes
     channel: int
+    #: the origin messenger's transfer id, preserved end to end so every
+    #: hop (and the final destination) can dedup replays of this message
+    tid: int = 0
 
 
 @dataclass
 class _Route:
     """A learned (not directly attached) destination segment."""
 
-    via: int      # port segment id the advertisement arrived on
-    metric: int   # hops to the destination segment
-    router: int   # advertising router id (freshness tie-break)
+    via: int          # port segment id the advertisement arrived on
+    metric: int       # hops to the destination segment
+    router: int       # advertising router id (freshness tie-break)
+    last_heard: int = 0   # sim time of the refreshing advertisement
+    #: the advertising router's own period — its refresh cadence, which
+    #: is what this route's staleness must be judged against
+    period_ns: int = 0
+
+
+@dataclass
+class _PeerRouter:
+    """Another router heard on one of our segments."""
+
+    priority: int
+    root: Tuple[int, int]     # the root bridge id the peer claims
+    cost: int                 # the peer's advertised cost to that root
+    period_ns: int            # the peer's own advertise period
+    root_age_ns: int          # claimed age of its root info
+    last_heard: int
+
+    def bid(self, router_id: int) -> Tuple[int, int]:
+        return (self.priority, router_id)
+
+
+@dataclass
+class _Shadow:
+    """A crossing parked by a blocked port, held for failover."""
+
+    ingress: int
+    crossing: _Crossing
+    parked_at: int
 
 
 class RouterPort:
@@ -128,6 +222,14 @@ class RouterPort:
         self.gateway = gateway
         cfg = router.config
         self.queue: Deque[_Crossing] = deque()
+        #: crossings whose destination is not currently rostered, keyed
+        #: by destination so they never stall the live queue behind them
+        self.parked: Dict[GlobalAddress, List[_Crossing]] = {}
+        #: spanning-tree state (single-router clusters stay forwarding)
+        self.role: PortRole = PortRole.FORWARDING
+        self.designated: bool = True
+        #: peer routers heard on this segment: router id -> liveness
+        self.peers: Dict[int, _PeerRouter] = {}
         # Egress pacing: the ring's own insertion-control algebra, fed
         # with the egress queue depth instead of a transit buffer.
         self.controller = InsertionController(
@@ -139,11 +241,19 @@ class RouterPort:
         )
         self.controller.ring_installed(2)  # window comes from the override
         self._pump_timer_armed = False
+        self._pump_timer_due = 0
+        #: next instant the parked side list is worth re-polling; keeps
+        #: pacing-cadence wakes from churning the parked set
+        self._parked_retry_at = 0
 
     # ------------------------------------------------------------- egress
     def enqueue(self, crossing: _Crossing) -> bool:
-        """Queue a crossing for re-origination; False when full (drop)."""
-        if len(self.queue) >= self.router.config.egress_capacity:
+        """Queue a crossing for re-origination; False when full (drop).
+
+        Parked crossings count against the capacity too: a partition
+        must exert backpressure, not grow an unbounded side list.
+        """
+        if self.backlog >= self.router.config.egress_capacity:
             return False
         self.queue.append(crossing)
         self.controller.observe_transit_depth(len(self.queue))
@@ -154,23 +264,26 @@ class RouterPort:
         """Drain as much of the queue as window + pacing allow.
 
         A crossing whose *final* destination is not currently rostered
-        on this segment is parked (head-of-line): re-originating it
-        would complete a tour of a ring the destination is not on, and
-        tour-as-ack would then count an undelivered message as done.
-        Parking preserves the no-data-loss story across partitions —
-        the queue drains when the destination re-rosters (ring-up hook)
-        or on the retry timer.
+        on this segment is moved to the ``parked`` side list (keyed by
+        destination): re-originating it would complete a tour of a ring
+        the destination is not on, and tour-as-ack would then count an
+        undelivered message as done.  Parking it *aside* — rather than
+        at the queue head — keeps later crossings to live destinations
+        flowing.  Parked traffic re-queues when the destination
+        re-rosters (ring-up hook) or on the retry timer.
         """
+        if self.router.failed:
+            return
         sim = self.router.sim
         now = sim.now
         controller = self.controller
-        parked = False
         while self.queue and controller.may_insert(now):
             crossing = self.queue[0]
             if not self._deliverable(crossing):
-                parked = True
+                self.queue.popleft()
+                self.parked.setdefault(crossing.dst, []).append(crossing)
                 self.router.counters.incr("egress_parked")
-                break
+                continue
             self.queue.popleft()
             controller.inserted(now)
             handle = self.gateway.messenger.send_global(
@@ -178,21 +291,38 @@ class RouterPort:
                 crossing.payload,
                 crossing.channel,
                 origin=crossing.origin,
+                wire_tid=crossing.tid,
             )
             handle.delivered.callbacks.append(self._confirmed)
             self.router.counters.incr("egress_tx")
         depth = len(self.queue)
         controller.observe_transit_depth(depth)
-        if depth and not self._pump_timer_armed:
-            wake_at = controller.earliest_insert()
-            if parked:
-                # Destination unreachable right now: poll a few tours out
-                # (the ring-up listener usually wakes the queue sooner).
-                self._arm_pump_timer(self.retry_ns)
-            elif wake_at > now and not controller.window_full():
-                # Pacing gap: wake when it ends (confirm callbacks cover
-                # the window-full case).
-                self._arm_pump_timer(wake_at - now)
+        wake_at = controller.earliest_insert()
+        delay: Optional[int] = None
+        if depth and wake_at > now and not controller.window_full():
+            # Pacing gap: wake when it ends (confirm callbacks cover
+            # the window-full case).
+            delay = wake_at - now
+        if self.parked:
+            # Destination unreachable right now: poll a few tours out
+            # (the ring-up listener usually wakes the queue sooner).
+            # Never later than a pending pacing wake — one parked
+            # crossing must not throttle the live queue to the retry
+            # cadence — but the poll itself keeps its own deadline,
+            # so pacing-cadence wakes do not churn the parked set.
+            if self._parked_retry_at <= now:
+                self._parked_retry_at = now + self.retry_ns
+            parked_delay = self._parked_retry_at - now
+            delay = (parked_delay if delay is None
+                     else min(delay, parked_delay))
+        if delay is not None:
+            # Arm, or re-arm when the needed wake is *earlier* than the
+            # pending one: a live crossing enqueued behind a pacing gap
+            # must not wait out a long parked-retry timer (the stale
+            # later timer fires into an idempotent pump).
+            due = now + max(delay, 1)
+            if not self._pump_timer_armed or due < self._pump_timer_due:
+                self._arm_pump_timer(delay)
 
     def _deliverable(self, crossing: _Crossing) -> bool:
         if crossing.dst[0] != self.segment_id:
@@ -203,16 +333,36 @@ class RouterPort:
         roster = self.gateway.roster
         return roster is not None and dst_node in roster.members
 
+    def requeue_parked(self) -> None:
+        """Re-offer every parked crossing to the queue (roster change or
+        retry poll); still-dead destinations simply park again."""
+        if not self.parked:
+            return
+        parked, self.parked = self.parked, {}
+        for crossings in parked.values():
+            self.queue.extend(crossings)
+
+    def ring_up(self) -> None:
+        """A new roster may restore a parked crossing's destination."""
+        self.requeue_parked()
+        self.pump()
+
     @property
     def retry_ns(self) -> int:
         return max(10 * self.cluster.tour_estimate_ns, 50_000)
 
     def _arm_pump_timer(self, delay_ns: int) -> None:
+        delay = max(delay_ns, 1)
         self._pump_timer_armed = True
-        self.router.sim.call_in(max(delay_ns, 1), self._pump_timer)
+        self._pump_timer_due = self.router.sim.now + delay
+        self.router.sim.call_in(delay, self._pump_timer)
 
     def _pump_timer(self) -> None:
         self._pump_timer_armed = False
+        if self.router.failed:
+            return
+        if self.parked and self.router.sim.now >= self._parked_retry_at:
+            self.requeue_parked()
         self.pump()
 
     def _confirmed(self, _event) -> None:
@@ -221,8 +371,12 @@ class RouterPort:
 
     # ------------------------------------------------------------ queries
     @property
+    def parked_count(self) -> int:
+        return sum(len(c) for c in self.parked.values())
+
+    @property
     def backlog(self) -> int:
-        return len(self.queue)
+        return len(self.queue) + self.parked_count
 
 
 class SegmentRouter:
@@ -232,18 +386,44 @@ class SegmentRouter:
         self.router_id = router_id
         self.config = config
         self.name = f"router-{router_id}"
+        self.failed = False
         self.ports: Dict[int, RouterPort] = {}
         #: learned routes: destination segment -> _Route (attached
         #: segments are implicit metric-0 routes through their port)
         self.table: Dict[int, _Route] = {}
         #: gossip/roster liveness per *remote* segment, as advertised
         self.remote_live: Dict[int, Set[int]] = {}
+        #: spanning-tree election state (self-rooted until ads arrive)
+        self.root: Tuple[int, int] = self.bid
+        self.root_cost = 0
+        self.root_port: Optional[int] = None
+        #: provenance of the adopted root claim (claimed age + when the
+        #: backing offer was last refreshed) — the basis of the Max-Age
+        #: discipline that kills ghost roots
+        self._root_offer_age_ns = 0
+        self._root_offer_heard_at = 0
+        #: crossings captured while role-blocked, held for failover
+        self.shadow: Deque[_Shadow] = deque()
         self.counters = Counter()
         self.sim = None  # bound at first attach
         self.tracer = None
         self._reassembly: Dict[Tuple[int, int, int], _Reassembly] = {}
         self._completed: "OrderedDict[Tuple[int, int, int], None]" = OrderedDict()
         self._started = False
+        self._ticking = False
+        self._readvertise_armed = False
+        self._shadow_retry_armed = False
+
+    @property
+    def bid(self) -> Tuple[int, int]:
+        """This router's bridge id: lower wins the root election."""
+        return (self.config.priority, self.router_id)
+
+    @property
+    def shadow_capacity(self) -> int:
+        if self.config.shadow_capacity is not None:
+            return self.config.shadow_capacity
+        return 4 * self.config.egress_capacity
 
     # ------------------------------------------------------------- wiring
     def attach(
@@ -274,11 +454,12 @@ class SegmentRouter:
             gw.mac.capture = self._make_capture(port)
             gw.messenger.on_message(Channel.ROUTING, self._make_ad_rx(port))
             # A new roster may restore a parked crossing's destination.
-            gw.ring_up_listeners.append(lambda roster, p=port: p.pump())
+            gw.ring_up_listeners.append(lambda roster, p=port: p.ring_up())
             if gw.membership is not None:
                 gw.membership.transition_listeners.append(
                     lambda state, p=port: self._on_gossip_transition(p, state)
                 )
+        self._ticking = True
         self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
         self.tracer.record(
             self.sim.now, "routing", self.name,
@@ -291,6 +472,53 @@ class SegmentRouter:
             return self.config.advertise_period_ns
         tour = max(p.cluster.tour_estimate_ns for p in self.ports.values())
         return max(50 * tour, 200_000)
+
+    @property
+    def miss_deadline_ns(self) -> int:
+        """Silence longer than this declares a peer (or route) dead."""
+        return self.config.miss_deadline_periods * self.advertise_period_ns
+
+    # ---------------------------------------------------------- lifecycle
+    def crash(self) -> None:
+        """Router power failure: queues and shadow are NIC memory, lost.
+
+        The gateway nodes are crashed separately by
+        :meth:`~repro.routing.RoutedCluster.crash_router`; the redundant
+        router's shadow buffer is what keeps the queued crossings from
+        being end-to-end lost.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        queued = sum(p.backlog for p in self.ports.values())
+        self.counters.incr("crash_lost_queued", queued)
+        for port in self.ports.values():
+            port.queue.clear()
+            port.parked.clear()
+        self.shadow.clear()
+        self.tracer.record(
+            self.sim.now, "routing", self.name,
+            event="router_crash", queued_lost=queued,
+        )
+
+    def recover(self) -> None:
+        """Power back on with cold state; ads rebuild roles and routes."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.table.clear()
+        self.remote_live.clear()
+        for port in self.ports.values():
+            port.peers.clear()
+        self.root, self.root_cost, self.root_port = self.bid, 0, None
+        self._recompute_roles()
+        if not self._ticking:
+            self._ticking = True
+            self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
+        self._schedule_readvertise()
+        self.tracer.record(
+            self.sim.now, "routing", self.name, event="router_recover",
+        )
 
     # ----------------------------------------------------------- liveness
     def live_in_segment(self, segment_id: int) -> Set[int]:
@@ -330,11 +558,16 @@ class SegmentRouter:
         return capture
 
     def _ingest(self, port: RouterPort, segment_id: int, pkt: MicroPacket) -> None:
+        if self.failed:
+            return
         dma = pkt.dma
         if dma is None or dma.src_segment is None:  # pragma: no cover
             return  # not a routed fragment; nothing to ferry
         self.counters.incr("fragments_captured")
-        key = (segment_id, pkt.src, dma.transfer_id)
+        # Keyed by the origin's global address + its transfer id: stable
+        # across re-originations, so a crossing revisiting this router
+        # (on any port) is recognized instead of looping.
+        key = (dma.src_segment, dma.src_node, dma.transfer_id)
         if key in self._completed:
             self.counters.incr("duplicate_fragments")
             return
@@ -355,6 +588,7 @@ class SegmentRouter:
             dst=(dma.dst_segment, pkt.dst),
             payload=result,
             channel=state.channel,
+            tid=dma.transfer_id,
         )
 
     # --------------------------------------------------------- forwarding
@@ -370,29 +604,66 @@ class SegmentRouter:
         dst: GlobalAddress,
         payload: bytes,
         channel: int,
+        tid: int = 0,
+        shadow: Optional["_Shadow"] = None,
     ) -> None:
         egress = self._egress_for(ingress, dst[0])
-        if egress == self._NOT_OURS:
-            # Split horizon: a router nearer the destination (on this
-            # same ring) forwards this one.  Every router on a shared
-            # ring captures every routed frame, so declines are routine
-            # and must never read as data-plane drops.
-            self.counters.incr("split_horizon_declines")
-            return
-        if egress is None:
+        if egress == self._NOT_OURS or egress is None:
+            if shadow is not None:
+                # A shadow entry must never be dropped on a transient
+                # verdict: a withdrawn route may be re-learned one
+                # advertise cycle later (which re-drains the shadow),
+                # and until its TTL expires the entry is the failover
+                # safety net.  Hold it.
+                self.shadow.append(shadow)
+                self.counters.incr("shadow_held")
+                return
+            if egress == self._NOT_OURS:
+                # Split horizon: a router nearer the destination (on
+                # this same ring) forwards this one.  Every router on a
+                # shared ring captures every routed frame, so declines
+                # are routine and must never read as data-plane drops.
+                self.counters.incr("split_horizon_declines")
+                return
             self.counters.incr("unroutable_drop")
             self.tracer.record(
                 self.sim.now, "routing", self.name,
                 event="unroutable", dst=dst, ingress=ingress,
             )
             return
-        port = self.ports[egress]
-        if not port.enqueue(_Crossing(origin, dst, payload, channel)):
+        crossing = _Crossing(origin, dst, payload, channel, tid)
+        ingress_port = self.ports[ingress]
+        egress_port = self.ports[egress]
+        if (
+            ingress_port.role is not PortRole.FORWARDING
+            or egress_port.role is not PortRole.FORWARDING
+        ):
+            # Spanning tree says the designated router carries this one.
+            # Shadow-park it instead of dropping: if the designated
+            # router dies, re-convergence promotes the shadow, and the
+            # destination's origin-keyed dedup suppresses the copies the
+            # designated router did deliver.
+            if shadow is not None:
+                self.shadow.append(shadow)  # still blocked: keep holding
+            else:
+                self._shadow_park(ingress, crossing)
+            return
+        if not egress_port.enqueue(crossing):
+            if shadow is not None:
+                # A promoted crossing must not be overflow-dropped: the
+                # burst a failover promotes can exceed the egress bound,
+                # so the surplus waits its turn in the shadow.
+                self.shadow.append(shadow)
+                self.counters.incr("shadow_deferred")
+                self._arm_shadow_retry()
+                return
             self.counters.incr("egress_overflow_drop")
             self.tracer.record(
                 self.sim.now, "routing", self.name,
                 event="egress_overflow", dst=dst, egress=egress,
             )
+        elif shadow is not None:
+            self.counters.incr("shadow_promoted")
 
     def _egress_for(self, ingress: int, dst_segment: int) -> Optional[int]:
         """Next-hop port for ``dst_segment``.
@@ -411,32 +682,290 @@ class SegmentRouter:
             return self._NOT_OURS
         return route.via
 
+    # ----------------------------------------------------- shadow parking
+    def _shadow_park(self, ingress: int, crossing: _Crossing) -> None:
+        if len(self.shadow) >= self.shadow_capacity:
+            self.shadow.popleft()
+            self.counters.incr("shadow_evicted")
+        self.shadow.append(_Shadow(ingress, crossing, self.sim.now))
+        self.counters.incr("shadow_parked")
+
+    def _drain_shadow(self) -> None:
+        """Re-offer every shadow-parked crossing to the forwarding path.
+
+        Called when a port turns forwarding (or a new route lands):
+        crossings the (now dead or demoted) designated router was
+        responsible for get re-forwarded; ones this router still must
+        not carry park again, and ones the bounded egress queue cannot
+        take yet defer until it drains.
+        """
+        if not self.shadow:
+            return
+        pending, self.shadow = list(self.shadow), deque()
+        for entry in pending:
+            c = entry.crossing
+            self._forward(entry.ingress, c.origin, c.dst, c.payload,
+                          c.channel, c.tid, shadow=entry)
+
+    def _arm_shadow_retry(self) -> None:
+        if self._shadow_retry_armed:
+            return
+        self._shadow_retry_armed = True
+
+        def fire() -> None:
+            self._shadow_retry_armed = False
+            if not self.failed:
+                self._drain_shadow()
+
+        self.sim.call_in(max(self.advertise_period_ns // 8, 1_000), fire)
+
+    def _expire_shadow(self, now: int) -> None:
+        # Held entries re-append at the tail with their old timestamps,
+        # so the deque is not age-sorted: scan it all, or an expired
+        # entry behind a newer head outlives its TTL.
+        if not self.shadow:
+            return
+        ttl = self.config.shadow_ttl_periods * self.advertise_period_ns
+        kept = deque(e for e in self.shadow if now - e.parked_at <= ttl)
+        expired = len(self.shadow) - len(kept)
+        if expired:
+            self.counters.incr("shadow_expired", expired)
+            self.shadow = kept
+
+    # ------------------------------------------------------ spanning tree
+    def _root_claim_age_ns(self, peer: _PeerRouter, now: int) -> int:
+        """Effective age of a peer's root claim: what the peer claimed,
+        plus how long ago it said so (real time, not periods — routers
+        attached to different-sized segments advertise at different
+        cadences, and ageing must be comparable across them)."""
+        return peer.root_age_ns + (now - peer.last_heard)
+
+    def _max_root_age_ns(self, peer: _PeerRouter) -> int:
+        """Max Age for one peer's claim: scaled by the *slower* of the
+        two cadences, so a leisurely advertiser is not declared a ghost
+        by a fast-ticking neighbour."""
+        return self.config.max_root_age_periods * max(
+            self.advertise_period_ns, peer.period_ns
+        )
+
+    def _advertised_root_age_units(self) -> int:
+        """The age we put in our own ads (wire units): 0 when we *are*
+        the root, else the adopted claim's age plus the time it has sat
+        here un-refreshed, plus one unit per relay hop so a chain of
+        instant relays still ages monotonically."""
+        if self.root == self.bid:
+            return 0
+        age_ns = self._root_offer_age_ns + (
+            self.sim.now - self._root_offer_heard_at
+        )
+        return min(0xFFFF, age_ns // _AGE_UNIT_NS + 1)
+
+    def _recompute_roles(self) -> None:
+        """Deterministic role election from the current peer state.
+
+        Classic STP with segments as LANs: elect the lowest bridge id
+        heard anywhere as root, pick the cheapest port towards it as the
+        root port, claim designated-ness per segment when no peer on
+        that segment offers a cheaper path to the same root.  Ports that
+        are neither are blocked.
+
+        Root claims past the Max-Age bound are ignored: two survivors
+        of a dead root would otherwise relay its claim to each other
+        forever (count-to-infinity), each refresh keeping the ghost
+        'alive'.  The carried age only resets at the root itself, so a
+        dead root's claim ages out everywhere within the bound and the
+        election falls back to the live bridges.
+        """
+        now = self.sim.now
+        #: segment -> {router id -> peer} with an age-valid root claim
+        valid: Dict[int, Dict[int, _PeerRouter]] = {}
+        offers: List[Tuple[int, Tuple[int, int], int, _PeerRouter]] = []
+        for seg, port in self.ports.items():
+            valid[seg] = {}
+            for rid, peer in port.peers.items():
+                if self._root_claim_age_ns(peer, now) > self._max_root_age_ns(peer):
+                    continue  # ghost claim: the root may be long dead
+                valid[seg][rid] = peer
+                offers.append((peer.cost + 1, peer.bid(rid), seg, peer))
+        root = min(
+            [self.bid] + [offer[3].root for offer in offers]
+        )
+        if root == self.bid:
+            self.root, self.root_cost, self.root_port = self.bid, 0, None
+            self._root_offer_age_ns = self._root_offer_heard_at = 0
+        else:
+            cost, _bid, seg, peer = min(
+                (o for o in offers if o[3].root == root),
+                key=lambda o: o[:3],
+            )
+            self.root, self.root_cost, self.root_port = root, cost, seg
+            self._root_offer_age_ns = peer.root_age_ns
+            self._root_offer_heard_at = peer.last_heard
+        changed = unblocked = False
+        for seg, port in self.ports.items():
+            my_offer = (self.root_cost, self.bid)
+            peer_offers = [
+                (p.cost, p.bid(rid))
+                for rid, p in valid[seg].items()
+                if p.root == root
+            ]
+            designated = not peer_offers or my_offer <= min(peer_offers)
+            role = (
+                PortRole.FORWARDING
+                if designated or seg == self.root_port
+                else PortRole.BLOCKED
+            )
+            if role is not port.role or designated != port.designated:
+                changed = True
+                if role is PortRole.FORWARDING and port.role is PortRole.BLOCKED:
+                    unblocked = True
+                port.role = role
+                port.designated = designated
+                self.counters.incr("role_changes")
+                self.tracer.record(
+                    self.sim.now, "routing", self.name,
+                    event="port_role", segment=seg, role=role.value,
+                    designated=designated,
+                )
+                if role is PortRole.BLOCKED:
+                    self._withdraw_routes_via(seg, reason="port_blocked")
+        if changed:
+            # Topology moved: tell the neighbours now, not a period out.
+            self._schedule_readvertise()
+        if unblocked:
+            # Failover: the crossings the demoted/dead designated router
+            # was carrying get re-offered through the new tree.
+            self._drain_shadow()
+
+    def _withdraw_routes_via(self, segment: int, reason: str,
+                             router: Optional[int] = None) -> None:
+        """Drop learned routes pointing out ``segment`` (optionally only
+        those learned from one router)."""
+        for seg in [
+            s for s, r in self.table.items()
+            if r.via == segment and (router is None or r.router == router)
+        ]:
+            del self.table[seg]
+            self.remote_live.pop(seg, None)
+            self.counters.incr("routes_withdrawn")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="route_withdrawn", segment=seg, via=segment,
+                reason=reason,
+            )
+
+    def _expire_peers(self, now: int) -> None:
+        """Declare silent peer routers dead and re-elect roles.
+
+        This is the failover trigger: the designated router's death is
+        observed as its advertisements missing the deadline, on blocked
+        ports as much as forwarding ones.  Each peer is judged against
+        the *slower* of the two advertise cadences, so a pair bridging
+        different-sized segments does not flap.
+        """
+        periods = self.config.miss_deadline_periods
+        expired = False
+        for seg, port in self.ports.items():
+            for rid in [
+                rid for rid, peer in port.peers.items()
+                if now - peer.last_heard
+                > periods * max(self.advertise_period_ns, peer.period_ns)
+            ]:
+                del port.peers[rid]
+                expired = True
+                self.counters.incr("peers_expired")
+                self.tracer.record(
+                    self.sim.now, "routing", self.name,
+                    event="peer_expired", peer=rid, segment=seg,
+                )
+                self._withdraw_routes_via(seg, reason="peer_expired",
+                                          router=rid)
+        if expired:
+            self._recompute_roles()
+
+    def _expire_routes(self, now: int) -> None:
+        """Withdraw learned routes that stopped being refreshed, each
+        judged against its advertiser's own refresh cadence."""
+        periods = self.config.miss_deadline_periods
+        for seg in [
+            s for s, route in self.table.items()
+            if now - route.last_heard
+            > periods * max(self.advertise_period_ns, route.period_ns)
+        ]:
+            route = self.table.pop(seg)
+            self.remote_live.pop(seg, None)
+            self.counters.incr("routes_expired")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="route_expired", segment=seg, via=route.via,
+            )
+
     # ----------------------------------------------------- advertisements
     def _advertise_tick(self) -> None:
+        if self.failed:
+            self._ticking = False
+            return
+        now = self.sim.now
+        self._expire_peers(now)
+        self._expire_routes(now)
+        self._expire_shadow(now)
+        self._advertise_now()
+        self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
+
+    def _advertise_now(self) -> None:
         for port in self.ports.values():
             if port.gateway.failed or not port.gateway.ring_up:
                 continue
             payload = self._encode_ad(port)
-            if payload is None:
-                continue
             port.gateway.messenger.send(BROADCAST, payload, Channel.ROUTING)
             self.counters.incr("ads_tx")
-        self.sim.call_in(self.advertise_period_ns, self._advertise_tick)
 
-    def _encode_ad(self, out_port: RouterPort) -> Optional[bytes]:
-        """Reachability advertisement for one segment (split horizon)."""
+    def _schedule_readvertise(self) -> None:
+        """Send ads out of cycle after a topology change (coalesced)."""
+        if self._readvertise_armed or not self._started or self.sim is None:
+            return
+        self._readvertise_armed = True
+
+        def fire() -> None:
+            self._readvertise_armed = False
+            if not self.failed:
+                self.counters.incr("ads_immediate")
+                self._advertise_now()
+
+        self.sim.call_in(1, fire)
+
+    def _encode_ad(self, out_port: RouterPort) -> bytes:
+        """Advertisement for one segment: the spanning-tree header plus
+        reachability entries (split horizon; blocked ports send the
+        header only — presence for failure detection, no routes)."""
         entries: List[Tuple[int, int, Set[int]]] = []
-        for seg, port in self.ports.items():
-            if seg == out_port.segment_id:
-                continue
-            entries.append((seg, 0, self.live_in_segment(seg)))
-        for seg, route in self.table.items():
-            if route.via == out_port.segment_id:
-                continue  # learned from there; do not echo it back
-            entries.append((seg, route.metric, self.live_in_segment(seg)))
-        if not entries:
-            return None
-        out = bytearray([self.router_id & 0xFF, len(entries)])
+        if out_port.role is PortRole.FORWARDING:
+            for seg, port in self.ports.items():
+                if seg == out_port.segment_id:
+                    continue
+                if port.role is not PortRole.FORWARDING:
+                    continue  # the designated router advertises it
+                entries.append((seg, 0, self.live_in_segment(seg)))
+            for seg, route in self.table.items():
+                if route.via == out_port.segment_id:
+                    continue  # learned from there; do not echo it back
+                if self.ports[route.via].role is not PortRole.FORWARDING:
+                    continue  # we could not actually carry it that way
+                entries.append((seg, route.metric, self.live_in_segment(seg)))
+        root_priority, root_id = self.root
+        period_units = min(
+            0xFFFF, -(-self.advertise_period_ns // _AGE_UNIT_NS)
+        )
+        out = bytearray([
+            self.router_id & 0xFF,
+            self.config.priority & 0xFF,
+            root_id & 0xFF,
+            root_priority & 0xFF,
+            min(self.root_cost, 0xFF),
+        ])
+        out += period_units.to_bytes(2, "little")
+        out += self._advertised_root_age_units().to_bytes(2, "little")
+        out.append(len(entries))
         for seg, metric, live in entries:
             live_ids = sorted(live)[:255]
             out += bytes([seg, metric, len(live_ids)])
@@ -444,17 +973,28 @@ class SegmentRouter:
         return bytes(out)
 
     @staticmethod
-    def _decode_ad(payload: bytes) -> Tuple[int, List[Tuple[int, int, Set[int]]]]:
-        router_id, n_entries = payload[0], payload[1]
+    def _decode_ad(
+        payload: bytes,
+    ) -> Tuple[int, int, Tuple[int, int], int, int, int,
+               List[Tuple[int, int, Set[int]]]]:
+        """-> (router_id, priority, root bid, root cost, period ns,
+        root age ns, entries)."""
+        router_id, priority = payload[0], payload[1]
+        root = (payload[3], payload[2])  # (priority, id): lower wins
+        root_cost = payload[4]
+        period_ns = int.from_bytes(payload[5:7], "little") * _AGE_UNIT_NS
+        root_age_ns = int.from_bytes(payload[7:9], "little") * _AGE_UNIT_NS
+        n_entries = payload[9]
         entries: List[Tuple[int, int, Set[int]]] = []
-        pos = 2
+        pos = 10
         for _ in range(n_entries):
             seg, metric, n_live = payload[pos], payload[pos + 1], payload[pos + 2]
             pos += 3
             live = set(payload[pos : pos + n_live])
             pos += n_live
             entries.append((seg, metric, live))
-        return router_id, entries
+        return (router_id, priority, root, root_cost, period_ns,
+                root_age_ns, entries)
 
     def _make_ad_rx(self, port: RouterPort):
         def on_ad(src, payload: bytes, channel: int) -> None:
@@ -463,46 +1003,75 @@ class SegmentRouter:
         return on_ad
 
     def _on_advertisement(self, port: RouterPort, src, payload: bytes) -> None:
+        if self.failed:
+            return
         try:
-            router_id, entries = self._decode_ad(payload)
+            (router_id, priority, root, root_cost, period_ns,
+             root_age_ns, entries) = self._decode_ad(payload)
         except IndexError:
             self.counters.incr("ads_malformed")
             return
         if router_id == self.router_id:
             return  # our own broadcast touring back is not news
         self.counters.incr("ads_rx")
+        now = self.sim.now
+        port.peers[router_id] = _PeerRouter(
+            priority=priority, root=root, cost=root_cost,
+            period_ns=period_ns, root_age_ns=root_age_ns, last_heard=now,
+        )
         ingress = port.segment_id
-        for seg, metric, live in entries:
-            if seg in self.ports:
-                continue  # directly attached beats any advertisement
-            cost = metric + 1
-            route = self.table.get(seg)
-            # Take the route when it is new, strictly better, or a
-            # refresh from the router we already route through (whose
-            # metric may legitimately move either way).
-            is_refresh = (
-                route is not None
-                and route.via == ingress
-                and route.router == router_id
-            )
-            if route is None or cost < route.metric or is_refresh:
-                self.table[seg] = _Route(via=ingress, metric=cost, router=router_id)
-                self.remote_live[seg] = set(live)
-                if route is None:
-                    self.counters.incr("routes_learned")
-                    self.tracer.record(
-                        self.sim.now, "routing", self.name,
-                        event="route_learned", segment=seg,
-                        via=ingress, metric=cost,
+        learned = False
+        # Reachability is data-plane information: a blocked port must
+        # not learn (and then re-advertise) routes it cannot carry —
+        # they would be withdrawn on the role transition and silently
+        # re-installed one period later, forever.  STP state above is
+        # still processed: that is what blocked ports listen *for*.
+        if port.role is PortRole.FORWARDING:
+            for seg, metric, live in entries:
+                if seg in self.ports:
+                    continue  # directly attached beats any advertisement
+                cost = metric + 1
+                route = self.table.get(seg)
+                # Take the route when it is new, strictly better, or a
+                # refresh from the router we already route through
+                # (whose metric may legitimately move either way).
+                is_refresh = (
+                    route is not None
+                    and route.via == ingress
+                    and route.router == router_id
+                )
+                if route is None or cost < route.metric or is_refresh:
+                    self.table[seg] = _Route(
+                        via=ingress, metric=cost, router=router_id,
+                        last_heard=now, period_ns=period_ns,
                     )
+                    self.remote_live[seg] = set(live)
+                    if route is None:
+                        learned = True
+                        self.counters.incr("routes_learned")
+                        self.tracer.record(
+                            self.sim.now, "routing", self.name,
+                            event="route_learned", segment=seg,
+                            via=ingress, metric=cost,
+                        )
+        self._recompute_roles()
+        if learned:
+            # Newly reachable segments may free shadowed traffic; drain
+            # once, after the roles reflect this advertisement.
+            self._drain_shadow()
 
     # ------------------------------------------------------------ queries
     def backlog(self) -> Dict[int, int]:
         """Egress queue depth per attached segment (observability)."""
         return {seg: port.backlog for seg, port in self.ports.items()}
 
+    def port_roles(self) -> Dict[int, str]:
+        """Segment id -> spanning-tree role (observability)."""
+        return {seg: port.role.value for seg, port in self.ports.items()}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        roles = {seg: p.role.value[0] for seg, p in self.ports.items()}
         return (
-            f"<SegmentRouter {self.router_id} ports={sorted(self.ports)} "
+            f"<SegmentRouter {self.router_id} ports={roles} "
             f"routes={sorted(self.table)}>"
         )

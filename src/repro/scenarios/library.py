@@ -381,6 +381,84 @@ def routed_partition_heal() -> ScenarioSpec:
     )
 
 
+def redundant_router_failover() -> ScenarioSpec:
+    # Two routers join the same segment pair: R0 (priority 16) wins the
+    # spanning-tree election and carries every crossing; R1 (priority
+    # 240) blocks its surplus port but keeps listening and shadow-parks
+    # what it captures.  Crashing R0 mid-load silences its ads; R1
+    # notices at the miss deadline, unblocks, promotes its shadow, and
+    # the origin-keyed dedup turns the replay into exactly-once.
+    # R0's gateways are node 8 on both segments (first router after the
+    # 8 user nodes); they die with it.
+    return ScenarioSpec(
+        name="redundant_router_failover",
+        description="The designated router of a redundant pair "
+                    "power-fails under crossing load: the backup's "
+                    "spanning-tree role flips at the missed-ad deadline, "
+                    "shadow-parked crossings are promoted, and every "
+                    "offered message still arrives exactly once.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8)),
+            routers=(RouterSpec(segments=(0, 1), priority=16),
+                     RouterSpec(segments=(0, 1), priority=240)),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=48, src=(0, 1), dst=(1, 5),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 100_000}),
+            WorkloadSpec("poisson", count=36, src=(1, 6), dst=(0, 4),
+                         channel=13, reliable=True,
+                         params={"mean_interval_ns": 120_000}),
+            WorkloadSpec("message", count=20, src=(0, 2), dst=(0, 6),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 150_000}),
+        ),
+        faults=(
+            FaultSpec("crash_router", at_tours=180, router=0),
+        ),
+        expect_dead=((0, 8), (1, 8)),
+        invariants=("all_delivered", "roster_converged"),
+        horizon_tours=900,
+    )
+
+
+def two_path_256() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="two_path_256",
+        description="Past the ceiling with no single point of failure: "
+                    "two 128-node rings joined by a redundant router "
+                    "pair — the spanning tree blocks the second path "
+                    "while crossing traffic flows exactly-once over the "
+                    "first.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=128), SegmentSpec(n_nodes=128)),
+            routers=(RouterSpec(segments=(0, 1), priority=32),
+                     RouterSpec(segments=(0, 1), priority=224)),
+        ),
+        seed=7,
+        workloads=(
+            # Crossing rates sit at tour scale (a 130-member ring tours
+            # in ~144 us); the stream straddles the election settling at
+            # ~2 advertise periods, so early crossings exercise the
+            # dedup under transient dual-forwarding and late ones ride
+            # the converged tree.
+            WorkloadSpec("poisson", count=10, src=(0, 0), dst=(1, 64),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 600_000}),
+            WorkloadSpec("message", count=8, src=(1, 5), dst=(0, 100),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 700_000}),
+            WorkloadSpec("message", count=8, src=(0, 30), dst=(0, 90),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 700_000}),
+        ),
+        horizon_tours=60,
+        grace_tours=400,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -397,6 +475,8 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         two_ring_256,
         four_ring_512,
         routed_partition_heal,
+        redundant_router_failover,
+        two_path_256,
     )
 }
 

@@ -160,6 +160,12 @@ class ScenarioRunner:
             ).items():
                 if sched.actions:
                     sched.arm(cluster.segment(seg_id))
+            # Router faults strike the routed cluster as a whole.
+            router_sched = spec.build_router_fault_schedule(
+                self.ring_up_ns, tour
+            )
+            if router_sched.actions:
+                router_sched.arm(cluster)
         else:
             sched = spec.build_fault_schedule(self.ring_up_ns, tour)
             if sched.actions:

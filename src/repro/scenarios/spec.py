@@ -52,14 +52,23 @@ class SegmentSpec:
 
 @dataclass(frozen=True)
 class RouterSpec:
-    """One segment router and the segment indices it joins."""
+    """One segment router and the segment indices it joins.
+
+    ``priority`` is the spanning-tree election weight (lower wins, ties
+    broken by router index): on redundant shapes — several routers
+    joining the same segments — it decides deterministically which
+    router forwards and which stands by blocked.
+    """
 
     segments: Tuple[int, ...]
     egress_capacity: int = 64
     egress_window: int = 4
+    priority: int = 128
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", tuple(self.segments))
+        if not 0 <= self.priority <= 255:
+            raise ValueError("router priority must fit one byte (0..255)")
 
 
 @dataclass(frozen=True)
@@ -213,7 +222,13 @@ FAULT_KINDS = (
     "flap_node",
     "partition",
     "heal_partition",
+    "crash_router",
+    "recover_router",
 )
+
+#: Kinds targeting a segment router (multi-segment topologies only);
+#: they arm against the routed cluster itself, not one segment.
+ROUTER_FAULT_KINDS = ("crash_router", "recover_router")
 
 
 @dataclass(frozen=True)
@@ -233,6 +248,8 @@ class FaultSpec:
     switch: Optional[int] = None
     #: target segment on multi-segment topologies (ignored otherwise)
     segment: int = 0
+    #: target router index (router fault kinds only)
+    router: Optional[int] = None
     #: node ids on side A (partition kinds)
     nodes: Tuple[int, ...] = ()
     #: switch ids granted to side A (partition kinds)
@@ -247,6 +264,8 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
+        if self.kind in ROUTER_FAULT_KINDS and self.router is None:
+            raise ValueError(f"{self.kind} needs a router index")
 
     def add_to(self, sched: FaultSchedule, origin_ns: int, tour_ns: int) -> None:
         """Append this fault to ``sched`` with tours resolved to ns."""
@@ -263,6 +282,8 @@ class FaultSpec:
                 down_ns=max(1, int(self.down_tours * tour_ns)),
                 up_ns=max(1, int(self.up_tours * tour_ns)),
             )
+        elif self.kind in ROUTER_FAULT_KINDS:
+            getattr(sched, self.kind)(at_ns, self.router)
         else:  # partition / heal_partition
             getattr(sched, self.kind)(at_ns, self.nodes, self.switches)
 
@@ -320,6 +341,18 @@ class ScenarioSpec:
             ),
         )
         for fault in self.faults:
+            if fault.kind in ROUTER_FAULT_KINDS:
+                if not multi:
+                    raise ValueError(
+                        f"{fault.kind} needs a multi-segment topology "
+                        "(single rings have no routers)"
+                    )
+                if not 0 <= fault.router < len(self.topology.routers):
+                    raise ValueError(
+                        f"fault targets router {fault.router}; topology "
+                        f"has routers 0..{len(self.topology.routers) - 1}"
+                    )
+                continue
             if multi and not 0 <= fault.segment < len(self.topology.segments):
                 raise ValueError(
                     f"fault targets segment {fault.segment}; topology has "
@@ -407,6 +440,7 @@ class ScenarioSpec:
                         segments=r.segments,
                         egress_capacity=r.egress_capacity,
                         egress_window=r.egress_window,
+                        priority=r.priority,
                     )
                     for r in self.topology.routers
                 ],
@@ -428,12 +462,27 @@ class ScenarioSpec:
 
         Each schedule is armed against its own segment's sub-cluster, so
         node and switch ids in a :class:`FaultSpec` stay segment-local.
+        Router faults are excluded — they target the routed cluster as a
+        whole (see :meth:`build_router_fault_schedule`).
         """
         out: Dict[int, FaultSchedule] = {}
         for fault in self.faults:
+            if fault.kind in ROUTER_FAULT_KINDS:
+                continue
             sched = out.setdefault(fault.segment, FaultSchedule())
             fault.add_to(sched, origin_ns, tour_ns)
         return out
+
+    def build_router_fault_schedule(
+        self, origin_ns: int, tour_ns: int
+    ) -> FaultSchedule:
+        """Router crash/recover storyline, armed against the
+        :class:`~repro.routing.RoutedCluster` itself."""
+        sched = FaultSchedule()
+        for fault in self.faults:
+            if fault.kind in ROUTER_FAULT_KINDS:
+                fault.add_to(sched, origin_ns, tour_ns)
+        return sched
 
     # ---------------------------------------------------------------- misc
     def to_dict(self) -> Dict[str, Any]:

@@ -70,8 +70,10 @@ class Channel:
     # 14/15 are reserved by AmpDK diagnostics.
 
 
-#: Completed (src, transfer_id) pairs remembered for duplicate delivery
-#: suppression.
+#: Completed transfers remembered for duplicate delivery suppression,
+#: keyed (src, transfer_id) for local traffic and by the origin's
+#: end-to-end identity (src_segment, src_node, transfer_id) for ferried
+#: traffic — the latter is what suppresses a redundant router's replay.
 _COMPLETED_CACHE = 4096
 
 #: Hardware DMA channels on the NIC (slide 11: sixteen DMA channels).
@@ -150,8 +152,10 @@ class Messenger:
 
         self._next_tid = 1
         self._outgoing: Dict[int, MessageHandle] = {}
-        self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
-        self._completed: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # Keys: (src, tid) for local transfers, (src_segment, src_node,
+        # tid) — the origin's end-to-end identity — for ferried ones.
+        self._reassembly: Dict[Tuple[int, ...], _Reassembly] = {}
+        self._completed: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
         # Per-channel dispatch tables: the channel space is 4 bits, so a
         # sixteen-slot list replaces dict hashing on every delivery.
         self._message_handlers: List[Optional[MessageFn]] = [None] * 16
@@ -199,6 +203,7 @@ class Messenger:
         payload: bytes,
         channel: int = Channel.GENERAL,
         origin: Optional[GlobalAddress] = None,
+        wire_tid: Optional[int] = None,
     ) -> MessageHandle:
         """Send to a ``(segment, node)`` global address.
 
@@ -206,6 +211,12 @@ class Messenger:
         re-originates a message it ferried: the header then preserves
         the *original* sender's global address instead of naming this
         (gateway) node, so the receiver can reply across segments.
+        ``wire_tid`` rides with it: the *origin's* transfer id carried
+        on the wire instead of a fresh local one, keeping the message's
+        end-to-end identity ``(origin, transfer id)`` stable across any
+        number of re-originations — which is what lets every hop and the
+        final destination suppress duplicate copies when redundant
+        routers replay a crossing after a failover.
         """
         seg, node = dst
         if self.segment_id is None:
@@ -219,7 +230,8 @@ class Messenger:
         # matches, so no router captures the frames), but the extension
         # still rides along: a handler addressed globally always sees a
         # global source, wherever the sender happened to live.
-        return self._send_fragments(node, payload, channel, origin, seg)
+        return self._send_fragments(node, payload, channel, origin, seg,
+                                    wire_tid)
 
     def _send_fragments(
         self,
@@ -228,6 +240,7 @@ class Messenger:
         channel: int,
         origin: Optional[GlobalAddress],
         dst_segment: Optional[int],
+        wire_tid: Optional[int] = None,
     ) -> MessageHandle:
         if not payload:
             raise ValueError("empty message")
@@ -241,6 +254,12 @@ class Messenger:
         )
         src_segment = origin[0] if origin is not None else None
         src_node = origin[1] if origin is not None else None
+        # The wire id is normally the local one; a ferrying gateway
+        # substitutes the origin's so the end-to-end identity survives
+        # re-origination.  Local bookkeeping (handle map, frame tags)
+        # always keys on the local tid, so colliding origin ids from
+        # different senders never cross wires inside this messenger.
+        carried_tid = tid if wire_tid is None else wire_tid
         self._outgoing[tid] = handle
         for offset in range(0, len(payload), VARIABLE_PAYLOAD_MAX):
             chunk = payload[offset : offset + VARIABLE_PAYLOAD_MAX]
@@ -252,9 +271,9 @@ class Messenger:
                 channel=channel,
                 payload=chunk,
                 dma=DmaControl(
-                    channel=tid % _N_DMA_CHANNELS,
+                    channel=carried_tid % _N_DMA_CHANNELS,
                     offset=offset,
-                    transfer_id=tid,
+                    transfer_id=carried_tid,
                     last=last,
                     src_segment=src_segment,
                     src_node=src_node,
@@ -338,7 +357,15 @@ class Messenger:
 
     def _on_dma(self, pkt: MicroPacket, frame) -> None:
         assert pkt.dma is not None
-        key = (pkt.src, pkt.dma.transfer_id)
+        # Ferried fragments are keyed by the *origin's* global address
+        # and transfer id (stable across router re-originations): two
+        # gateways replaying the same crossing — redundant routers
+        # during a failover — land on one reassembly, and the second
+        # copy is suppressed as a duplicate instead of delivered twice.
+        if pkt.dma.src_segment is not None:
+            key = (pkt.dma.src_segment, pkt.dma.src_node, pkt.dma.transfer_id)
+        else:
+            key = (pkt.src, pkt.dma.transfer_id)
         if key in self._completed:
             self.counters.incr("duplicate_fragments")
             return

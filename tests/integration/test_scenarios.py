@@ -39,12 +39,14 @@ ALL_NAMES = (
     "two_ring_256",
     "four_ring_512",
     "routed_partition_heal",
+    "redundant_router_failover",
+    "two_path_256",
 )
 
 #: Production-scale entries too expensive for the run+replay double
 #: execution; they get a single invariants run below.
 LARGE_NAMES = ("large_ring_128", "large_ring_256", "two_ring_256",
-               "four_ring_512")
+               "four_ring_512", "two_path_256")
 
 #: Entries cheap enough for the run+replay double execution.
 REPLAY_NAMES = tuple(n for n in ALL_NAMES if n not in LARGE_NAMES)
@@ -52,7 +54,7 @@ REPLAY_NAMES = tuple(n for n in ALL_NAMES if n not in LARGE_NAMES)
 
 def test_library_is_fully_covered():
     assert set(scenario_names()) == set(ALL_NAMES)
-    assert len(ALL_NAMES) >= 13
+    assert len(ALL_NAMES) >= 15
 
 
 @pytest.mark.parametrize("name", REPLAY_NAMES)

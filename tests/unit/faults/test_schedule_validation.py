@@ -92,3 +92,28 @@ def test_flap_node_rejects_bad_parameters():
         FaultSchedule().flap_node(0, 1, flaps=0)
     with pytest.raises(ValueError):
         FaultSchedule().flap_node(0, 1, down_ns=0)
+
+
+# ---------------------------------------------------------- router faults
+def test_router_fault_needs_a_routed_cluster(cluster):
+    sched = FaultSchedule().crash_router(1_000, 0)
+    with pytest.raises(FaultScheduleError, match="routed cluster"):
+        sched.arm(cluster)
+
+
+def test_router_fault_unknown_router_rejected():
+    from repro.routing import RoutedCluster, RoutedClusterConfig, RouterConfig
+
+    routed = RoutedCluster(
+        RoutedClusterConfig(
+            segments=[ClusterConfig(n_nodes=3, n_switches=2)
+                      for _ in range(2)],
+            routers=[RouterConfig(segments=(0, 1))],
+        )
+    )
+    sched = FaultSchedule().crash_router(1_000, 5)
+    with pytest.raises(FaultScheduleError, match=r"router 5.*routers 0\.\.0"):
+        sched.arm(routed)
+    # A valid index validates silently.
+    FaultSchedule().crash_router(1_000, 0).validate(routed)
+    FaultSchedule().recover_router(2_000, 0).validate(routed)

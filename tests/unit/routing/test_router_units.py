@@ -1,16 +1,62 @@
 """Unit-level checks of the routing layer's pure logic.
 
-Forwarding-table updates, advertisement encoding, egress backpressure
-algebra and build-time topology validation — everything that does not
-need a live multi-segment simulation (that lives in
-``tests/integration/test_routing.py``).
+Forwarding-table updates, advertisement encoding, spanning-tree role
+election, egress backpressure algebra and build-time topology
+validation — everything that does not need a live multi-segment
+simulation (that lives in ``tests/integration/test_routing.py``).
 """
 
 import pytest
 
 from repro.cluster import ClusterConfig
-from repro.routing import RoutedClusterConfig, RouterConfig, SegmentRouter
-from repro.routing.router import _Route
+from repro.routing import (
+    PortRole,
+    RoutedClusterConfig,
+    RouterConfig,
+    SegmentRouter,
+)
+from repro.routing.router import _PeerRouter, _Route
+
+
+class _FakeSim:
+    now = 0
+
+
+class _FakeTracer:
+    def record(self, *args, **kwargs):
+        pass
+
+
+class _FakeGateway:
+    membership = None
+
+
+class _FakeCluster:
+    tour_estimate_ns = 1_000
+
+    def current_roster(self):
+        return None
+
+
+class _FakePort:
+    def __init__(self, segment_id):
+        self.segment_id = segment_id
+        self.role = PortRole.FORWARDING
+        self.designated = True
+        self.peers = {}
+        self.gateway = _FakeGateway()
+        self.cluster = _FakeCluster()
+
+
+def bare_router(router_id=0, segments=(0, 1), priority=128):
+    """A SegmentRouter with fake ports — pure-logic testing only."""
+    router = SegmentRouter(
+        router_id, RouterConfig(segments=segments, priority=priority)
+    )
+    router.sim = _FakeSim()
+    router.tracer = _FakeTracer()
+    router.ports = {seg: _FakePort(seg) for seg in segments}
+    return router
 
 
 # ----------------------------------------------------------- RouterConfig
@@ -28,34 +74,42 @@ def test_egress_knobs_validated():
         RouterConfig(segments=(0, 1), egress_window=0)
 
 
+def test_redundancy_knobs_validated():
+    with pytest.raises(ValueError, match="priority"):
+        RouterConfig(segments=(0, 1), priority=300)
+    with pytest.raises(ValueError, match="miss deadline"):
+        RouterConfig(segments=(0, 1), miss_deadline_periods=0)
+    with pytest.raises(ValueError, match="shadow TTL"):
+        RouterConfig(segments=(0, 1), miss_deadline_periods=4,
+                     shadow_ttl_periods=2)
+    with pytest.raises(ValueError, match="shadow capacity"):
+        RouterConfig(segments=(0, 1), shadow_capacity=0)
+
+
 # ----------------------------------------------- RoutedClusterConfig shape
 def _segs(n):
     return [ClusterConfig(n_nodes=3, n_switches=2) for _ in range(n)]
 
 
-def test_router_graph_must_be_a_tree():
-    # Two routers between the same pair of segments form a cycle.
-    with pytest.raises(ValueError, match="cycle"):
-        RoutedClusterConfig(
-            segments=_segs(2),
-            routers=[RouterConfig(segments=(0, 1)),
-                     RouterConfig(segments=(0, 1))],
-        )
-    # A triangle of segments is a cycle too.
-    with pytest.raises(ValueError, match="cycle"):
-        RoutedClusterConfig(
-            segments=_segs(3),
-            routers=[RouterConfig(segments=(0, 1)),
-                     RouterConfig(segments=(1, 2)),
-                     RouterConfig(segments=(2, 0))],
-        )
-    # A star and a chain are fine.
+def test_cyclic_router_graphs_are_allowed():
+    """Redundant routers form cycles by design; the spanning tree (not
+    the validator) is what keeps forwarding loop-free."""
+    # Two routers between the same pair of segments.
     RoutedClusterConfig(
-        segments=_segs(4), routers=[RouterConfig(segments=(0, 1, 2, 3))]
+        segments=_segs(2),
+        routers=[RouterConfig(segments=(0, 1)),
+                 RouterConfig(segments=(0, 1))],
     )
+    # A triangle of segments.
     RoutedClusterConfig(
         segments=_segs(3),
-        routers=[RouterConfig(segments=(0, 1)), RouterConfig(segments=(1, 2))],
+        routers=[RouterConfig(segments=(0, 1)),
+                 RouterConfig(segments=(1, 2)),
+                 RouterConfig(segments=(2, 0))],
+    )
+    # Trees still build, obviously.
+    RoutedClusterConfig(
+        segments=_segs(4), routers=[RouterConfig(segments=(0, 1, 2, 3))]
     )
 
 
@@ -88,13 +142,43 @@ def test_gateway_ids_follow_user_nodes():
 
 # ------------------------------------------------------- ad wire format
 def test_advertisement_roundtrip():
-    router = SegmentRouter(3, RouterConfig(segments=(0, 1)))
-    payload = bytes([3, 2,
-                     0, 0, 3, 1, 2, 9,
-                     2, 1, 0])
-    rid, entries = router._decode_ad(payload)
+    router = bare_router(router_id=3, priority=9)
+    router.root = (9, 3)
+    router.root_cost = 0
+    payload = router._encode_ad(router.ports[0])
+    (rid, priority, root, cost, period_ns, age_ns,
+     entries) = SegmentRouter._decode_ad(payload)
     assert rid == 3
-    assert entries == [(0, 0, {1, 2, 9}), (2, 1, set())]
+    assert priority == 9
+    assert root == (9, 3)
+    assert cost == 0
+    assert period_ns == router.advertise_period_ns
+    assert age_ns == 0  # the root itself always claims a fresh root
+    # Attached segment 1 is advertised into segment 0 (split horizon
+    # suppresses segment 0 itself); liveness empty without a cluster.
+    assert [(seg, metric) for seg, metric, _live in entries] == [(1, 0)]
+
+
+def test_blocked_port_sends_presence_only():
+    """A blocked port still advertises its bridge id (that is how its
+    death would be noticed) but offers no reachability."""
+    router = bare_router()
+    router.ports[0].role = PortRole.BLOCKED
+    rid, _pri, _root, _cost, _period, _age, entries = SegmentRouter._decode_ad(
+        router._encode_ad(router.ports[0])
+    )
+    assert rid == 0
+    assert entries == []
+
+
+def test_live_set_rides_reachability_entries():
+    router = bare_router(router_id=3)
+    router.remote_live[7] = {1, 2, 9}
+    router.table[7] = _Route(via=1, metric=1, router=5)
+    payload = router._encode_ad(router.ports[0])
+    (_rid, _pri, _root, _cost, _period, _age,
+     entries) = SegmentRouter._decode_ad(payload)
+    assert (7, 1, {1, 2, 9}) in entries
 
 
 # ------------------------------------------------------ forwarding table
@@ -114,27 +198,215 @@ def test_egress_resolution_and_split_horizon():
 
 
 def test_advertisement_updates_table_with_distance_vector():
-    router = SegmentRouter(0, RouterConfig(segments=(0, 1)))
-
-    class _FakeSim:
-        now = 0
-
-    class _FakeTracer:
-        def record(self, *args, **kwargs):
-            pass
-
-    class _FakePort:
-        segment_id = 1
-
-    router.sim = _FakeSim()
-    router.tracer = _FakeTracer()
-    port = _FakePort()
-    ad = bytes([7, 1, 3, 0, 2, 4, 5])  # router 7: segment 3, metric 0, live {4,5}
+    router = bare_router()
+    port = router.ports[1]
+    # Router 7 (priority 50): root claim (50,7) cost 0; one entry:
+    # segment 3, metric 0, live {4, 5}.
+    ad = bytes([7, 50, 7, 50, 0, 20, 0, 0, 0, 1, 3, 0, 2, 4, 5])
     router._on_advertisement(port, src=2, payload=ad)
     assert router.table[3].via == 1
     assert router.table[3].metric == 1
     assert router.remote_live[3] == {4, 5}
     assert router.counters["routes_learned"] == 1
     # Our own advertisement touring back must not create routes.
-    router._on_advertisement(port, src=2, payload=bytes([0, 1, 9, 0, 0]))
+    router._on_advertisement(
+        port, src=2, payload=bytes([0, 128, 0, 128, 0, 20, 0, 0, 0, 1, 9, 0, 0])
+    )
     assert 9 not in router.table
+
+
+def test_route_refresh_updates_last_heard():
+    router = bare_router()
+    port = router.ports[1]
+    ad = bytes([7, 50, 7, 50, 0, 20, 0, 0, 0, 1, 3, 0, 0])
+    router._on_advertisement(port, src=2, payload=ad)
+    router.sim.now = 500
+    router._on_advertisement(port, src=2, payload=ad)
+    assert router.table[3].last_heard == 500
+
+
+def test_stale_route_withdrawn_after_miss_deadline():
+    router = bare_router()
+    port = router.ports[1]
+    router._on_advertisement(
+        port, src=2, payload=bytes([7, 50, 7, 50, 0, 20, 0, 0, 0, 1, 3, 0, 0])
+    )
+    assert 3 in router.table
+    router._expire_routes(router.table[3].last_heard
+                          + router.miss_deadline_ns + 1)
+    assert 3 not in router.table
+    assert 3 not in router.remote_live
+    assert router.counters["routes_expired"] == 1
+
+
+# ------------------------------------------------------- role election
+def test_single_router_is_root_and_forwards_everywhere():
+    router = bare_router()
+    router._recompute_roles()
+    assert router.root == router.bid
+    assert router.root_cost == 0
+    assert all(p.role is PortRole.FORWARDING for p in router.ports.values())
+    assert all(p.designated for p in router.ports.values())
+
+
+def test_parallel_routers_block_the_worse_one():
+    """Two routers on the same segment pair: the better bridge id wins
+    designated-ness on both segments; the loser keeps its root port
+    forwarding (lowest segment id) and blocks the other."""
+    backup = bare_router(router_id=1, priority=200)
+    for port in backup.ports.values():
+        port.peers[0] = _PeerRouter(priority=10, root=(10, 0), cost=0,
+                                    period_ns=200_000,
+                                    root_age_ns=0, last_heard=0)
+    backup._recompute_roles()
+    assert backup.root == (10, 0)
+    assert backup.root_cost == 1
+    assert backup.root_port == 0
+    assert backup.ports[0].role is PortRole.FORWARDING
+    assert not backup.ports[0].designated
+    assert backup.ports[1].role is PortRole.BLOCKED
+
+
+def test_peer_expiry_fails_over_to_the_backup():
+    backup = bare_router(router_id=1, priority=200)
+    for port in backup.ports.values():
+        port.peers[0] = _PeerRouter(priority=10, root=(10, 0), cost=0,
+                                    period_ns=200_000,
+                                    root_age_ns=0, last_heard=0)
+    backup._recompute_roles()
+    assert backup.ports[1].role is PortRole.BLOCKED
+    backup._expire_peers(backup.miss_deadline_ns + 1)
+    assert backup.root == backup.bid
+    assert all(p.role is PortRole.FORWARDING for p in backup.ports.values())
+    assert all(p.designated for p in backup.ports.values())
+    assert backup.counters["peers_expired"] == 2
+
+
+def test_designated_tie_breaks_on_router_id():
+    """Equal priorities: the lower router id is the better bridge."""
+    router = bare_router(router_id=2, priority=128)
+    router.ports[0].peers[1] = _PeerRouter(priority=128, root=(128, 1), cost=0,
+                                           period_ns=200_000,
+                                           root_age_ns=0, last_heard=0)
+    router._recompute_roles()
+    assert router.root == (128, 1)
+    assert not router.ports[0].designated
+    # Port 1 hears no competition, so this router stays designated there.
+    assert router.ports[1].designated
+    assert router.ports[1].role is PortRole.FORWARDING
+
+
+# ------------------------------------------------------- shadow holding
+def _shadow_entry(ingress, dst):
+    from repro.routing.router import _Crossing, _Shadow
+
+    return _Shadow(ingress, _Crossing((0, 1), dst, b"x", 13, 5), 0)
+
+
+def test_drain_shadow_holds_unroutable_crossings():
+    """A withdrawn route must not turn a shadow-parked crossing into an
+    unroutable drop mid-drain — the route may return next advertise
+    cycle, and until the TTL expires the entry is the failover net."""
+    router = bare_router()
+    router.shadow.append(_shadow_entry(0, (9, 2)))  # no route to seg 9
+    router._drain_shadow()
+    assert len(router.shadow) == 1
+    assert router.counters["unroutable_drop"] == 0
+    assert router.counters["shadow_held"] == 1
+
+
+def test_drain_shadow_holds_split_horizon_crossings():
+    router = bare_router()
+    router.table[9] = _Route(via=0, metric=1, router=7)
+    router.shadow.append(_shadow_entry(0, (9, 2)))  # route points back out
+    router._drain_shadow()
+    assert len(router.shadow) == 1
+    assert router.counters["split_horizon_declines"] == 0
+    assert router.counters["shadow_held"] == 1
+
+
+def test_ghost_root_claim_ages_out():
+    """Max-Age discipline: a relayed root claim that only other
+    survivors keep echoing — never refreshed by the root itself — must
+    be discarded, so the election falls back to the live bridges
+    instead of counting to infinity on a dead root."""
+    router = bare_router(router_id=1, priority=100)
+    period = router.advertise_period_ns
+    bound = router.config.max_root_age_periods * period
+    # A peer relays the dead root's claim just past the age bound.
+    router.ports[0].peers[2] = _PeerRouter(
+        priority=200, root=(10, 0), cost=2, period_ns=period,
+        root_age_ns=bound + 1, last_heard=0,
+    )
+    router._recompute_roles()
+    assert router.root == router.bid  # the ghost was not adopted
+    # A fresh claim at age 0 from the same peer IS adopted.
+    router.ports[0].peers[2] = _PeerRouter(
+        priority=200, root=(10, 0), cost=0, period_ns=period,
+        root_age_ns=0, last_heard=0,
+    )
+    router._recompute_roles()
+    assert router.root == (10, 0)
+
+
+def test_relayed_root_age_grows_with_real_time():
+    router = bare_router(router_id=1, priority=100)
+    period = router.advertise_period_ns
+    router.ports[0].peers[2] = _PeerRouter(
+        priority=200, root=(10, 0), cost=0, period_ns=period,
+        root_age_ns=30_000, last_heard=0,
+    )
+    router._recompute_roles()
+    assert router.root == (10, 0)
+    # Advertised onward: claimed age + elapsed + one hop unit (10 us
+    # wire units).
+    assert router._advertised_root_age_units() == 4
+    router.sim.now = 100_000
+    assert router._advertised_root_age_units() == 14
+
+
+def test_slow_advertisers_are_judged_by_their_own_cadence():
+    """A peer advertising at a much longer period (it bridges a big
+    ring) must not be expired — or ghost-bounded — by a fast-ticking
+    neighbour's local deadline."""
+    router = bare_router(router_id=1, priority=100)
+    own_period = router.advertise_period_ns
+    slow_period = 40 * own_period
+    router.ports[0].peers[2] = _PeerRouter(
+        priority=10, root=(10, 2), cost=0, period_ns=slow_period,
+        root_age_ns=0, last_heard=0,
+    )
+    # Far beyond the local deadline, well within the slow peer's.
+    now = 2 * router.miss_deadline_ns
+    router.sim.now = now
+    router._expire_peers(now)
+    assert 2 in router.ports[0].peers
+    router._recompute_roles()
+    assert router.root == (10, 2)  # claim still age-valid
+    # Past the *slow* deadline it does expire.
+    now = router.config.miss_deadline_periods * slow_period + 1
+    router.sim.now = now
+    router._expire_peers(now)
+    assert 2 not in router.ports[0].peers
+
+
+def test_blocked_port_does_not_learn_routes():
+    """Reachability heard on a blocked port is data-plane information
+    the port cannot carry; learning it would undo the role-transition
+    withdrawal every advertise period."""
+    router = bare_router()
+    router.ports[1].role = PortRole.BLOCKED
+    ad = bytes([7, 50, 7, 50, 0, 20, 0, 0, 0, 1, 3, 0, 0])
+    router._on_advertisement(router.ports[1], src=2, payload=ad)
+    assert 3 not in router.table
+    # The STP half of the same ad WAS processed (peer recorded).
+    assert 7 in router.ports[1].peers
+
+
+def test_learned_routes_via_blocked_ports_are_not_advertised():
+    router = bare_router()
+    router.table[7] = _Route(via=1, metric=1, router=5)
+    router.ports[1].role = PortRole.BLOCKED
+    payload = router._encode_ad(router.ports[0])
+    *_, entries = SegmentRouter._decode_ad(payload)
+    assert all(seg != 7 for seg, _m, _l in entries)

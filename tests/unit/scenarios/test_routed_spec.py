@@ -175,3 +175,48 @@ def test_to_dict_serializes_multi_segment_shape():
     assert d["topology"]["segments"][0]["n_nodes"] == 4
     assert d["topology"]["routers"][0]["segments"] == (0, 1)
     assert d["workloads"][0]["src"] == (0, 1)
+
+
+# ------------------------------------------------------- router faults
+def test_router_fault_requires_router_index():
+    with pytest.raises(ValueError, match="router index"):
+        FaultSpec("crash_router", at_tours=10)
+
+
+def test_router_fault_rejected_on_single_segment_topology():
+    with pytest.raises(ValueError, match="multi-segment"):
+        ScenarioSpec(
+            name="x", topology=TopologySpec(n_nodes=4, n_switches=2),
+            faults=(FaultSpec("crash_router", at_tours=10, router=0),),
+        )
+
+
+def test_router_fault_index_validated():
+    with pytest.raises(ValueError, match="targets router 5"):
+        ScenarioSpec(
+            name="x", topology=topo(),
+            faults=(FaultSpec("crash_router", at_tours=10, router=5),),
+        )
+
+
+def test_router_faults_build_their_own_schedule():
+    spec = ScenarioSpec(
+        name="x", topology=topo(),
+        faults=(
+            FaultSpec("crash_node", at_tours=10, node=1, segment=0),
+            FaultSpec("crash_router", at_tours=20, router=0),
+            FaultSpec("recover_router", at_tours=40, router=0),
+        ),
+    )
+    per_segment = spec.build_fault_schedules(origin_ns=0, tour_ns=100)
+    router_sched = spec.build_router_fault_schedule(origin_ns=0, tour_ns=100)
+    assert len(per_segment[0].actions) == 1
+    assert [a.kind.value for a in router_sched.actions] == [
+        "crash_router", "recover_router",
+    ]
+    assert router_sched.actions[0].at_ns == 2000
+
+
+def test_router_priority_validated():
+    with pytest.raises(ValueError, match="priority"):
+        RouterSpec(segments=(0, 1), priority=999)

@@ -1,0 +1,93 @@
+"""Unit tests for the benchmark trajectory differ.
+
+The regression that motivated these: an emission present in OLD but
+missing entirely from NEW used to surface as a quiet note, so a deleted
+(or silently-skipped) bench sailed through ``--check`` as "no drift".
+"""
+
+import importlib.util
+import json
+import pathlib
+
+_DIFF_PATH = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    / "diff_results.py"
+)
+_spec = importlib.util.spec_from_file_location("diff_results", _DIFF_PATH)
+diff_results = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(diff_results)
+
+
+def emission(exp, metric=1.0, params=None):
+    return {
+        "schema": "repro-bench/1",
+        "exp": exp,
+        "title": exp,
+        "params": params or {"n": 4},
+        "columns": ["k", "v"],
+        "rows": [["a", metric]],
+        "metrics": {"latency_ns": metric},
+    }
+
+
+def write_tree(path, emissions):
+    path.mkdir()
+    for payload in emissions:
+        (path / f"{payload['exp']}.json").write_text(json.dumps(payload))
+    return path
+
+
+def test_identical_trees_are_clean(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1"), emission("P9")])
+    new = write_tree(tmp_path / "new", [emission("F1"), emission("P9")])
+    drifts, _notes, missing = diff_results.diff_trees(old, new)
+    assert drifts == [] and missing == []
+    assert diff_results.main([str(old), str(new), "--check"]) == 0
+
+
+def test_metric_drift_flagged(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1", metric=100.0)])
+    new = write_tree(tmp_path / "new", [emission("F1", metric=150.0)])
+    drifts, _notes, missing = diff_results.diff_trees(old, new)
+    assert len(drifts) == 2  # the metric and the joined row cell
+    assert missing == []
+    assert diff_results.main([str(old), str(new), "--check"]) == 1
+
+
+def test_missing_emission_is_a_check_failure(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1"), emission("P9")])
+    new = write_tree(tmp_path / "new", [emission("F1")])
+    drifts, _notes, missing = diff_results.diff_trees(old, new)
+    assert drifts == []
+    assert missing == ["P9"]
+    assert diff_results.main([str(old), str(new), "--check"]) == 1
+    # Without --check it still reports, but does not fail the build.
+    assert diff_results.main([str(old), str(new)]) == 0
+
+
+def test_allow_missing_tolerates_intentional_removal(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1"), emission("P9")])
+    new = write_tree(tmp_path / "new", [emission("F1")])
+    assert diff_results.main(
+        [str(old), str(new), "--check", "--allow-missing"]
+    ) == 0
+
+
+def test_new_experiment_is_just_a_note(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1")])
+    new = write_tree(tmp_path / "new", [emission("F1"), emission("P9")])
+    drifts, notes, missing = diff_results.diff_trees(old, new)
+    assert drifts == [] and missing == []
+    assert any("new experiment" in n for n in notes)
+    assert diff_results.main([str(old), str(new), "--check"]) == 0
+
+
+def test_changed_params_still_skip_comparison(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1", metric=100.0)])
+    new = write_tree(
+        tmp_path / "new",
+        [emission("F1", metric=999.0, params={"n": 16})],
+    )
+    drifts, notes, missing = diff_results.diff_trees(old, new)
+    assert drifts == [] and missing == []
+    assert any("params changed" in n for n in notes)
