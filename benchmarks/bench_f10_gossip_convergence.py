@@ -23,24 +23,21 @@ benchmarks/bench_f10_gossip_convergence.py``.
 """
 
 import math
-import os
 
 from repro.analysis import fmt_ns, render_table
 from repro.scenarios import ScenarioSpec, TopologySpec
+from repro.sweep import pool_map
 
 import harness
 
-DEFAULT_SIZES = [4, 8, 16, 32, 64]
+DEFAULT_SIZES = (4, 8, 16, 32, 64)
 
 #: protocol periods of steady-state traffic measured for the overhead row
 STEADY_PERIODS = 10
 
 
 def sizes_under_test():
-    env = os.environ.get("F10_SIZES")
-    if not env:
-        return DEFAULT_SIZES
-    return [int(tok) for tok in env.replace(",", " ").split()]
+    return harness.sizes_from_env("F10_SIZES", DEFAULT_SIZES)
 
 
 def membership_spec(n_nodes: int, seed: int = 2) -> ScenarioSpec:
@@ -95,7 +92,10 @@ def measure_once(n_nodes: int, seed: int = 2):
 
 
 def run_experiment():
-    return [measure_once(n) for n in sizes_under_test()]
+    # The size grid runs through the sweep pool: serial by default (the
+    # committed emission's code path), REPRO_SWEEP_WORKERS=N fans the
+    # sizes out.  Row order is input order regardless of worker count.
+    return pool_map(measure_once, [(n,) for n in sizes_under_test()])
 
 
 def test_f10_gossip_convergence(benchmark, publish, publish_json):

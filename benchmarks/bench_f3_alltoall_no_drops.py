@@ -11,8 +11,6 @@ engine's own invariants (no drops, all delivered).  Sizes can be
 overridden for smoke runs: ``F3_SIZES=4 pytest benchmarks/bench_f3...``.
 """
 
-import os
-
 from repro.analysis import render_table
 from repro.baselines import EthConfig, EthernetFabric
 from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
@@ -25,10 +23,7 @@ CELLS_PER_NODE = 16
 
 
 def sizes_under_test():
-    env = os.environ.get("F3_SIZES")
-    if not env:
-        return DEFAULT_NODE_COUNTS
-    return tuple(int(tok) for tok in env.replace(",", " ").split())
+    return harness.sizes_from_env("F3_SIZES", DEFAULT_NODE_COUNTS)
 
 
 def storm_spec(n_nodes: int) -> ScenarioSpec:

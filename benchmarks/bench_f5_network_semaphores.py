@@ -10,6 +10,8 @@ from repro import AmpNetCluster, ClusterConfig
 from repro.analysis import render_table
 from repro.cache import RegionSpec
 
+import harness
+
 REGION = RegionSpec(region_id=3, name="f5", n_records=2, record_size=8)
 WORKERS = 4
 INCREMENTS = 12
@@ -56,7 +58,7 @@ def run_experiment():
     return locked, unlocked
 
 
-def test_f5_network_semaphores(benchmark, publish):
+def test_f5_network_semaphores(benchmark, publish, publish_json):
     locked, unlocked = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     expected = WORKERS * INCREMENTS
 
@@ -74,4 +76,19 @@ def test_f5_network_semaphores(benchmark, publish):
             ["Discipline", "Expected", "Final value", "Lost updates"],
             rows,
         ),
+    )
+    publish_json(
+        harness.bench_payload(
+            exp="F5",
+            title="Network semaphores: contended counter, lost updates",
+            params={"workers": WORKERS, "increments": INCREMENTS},
+            columns=["discipline", "expected", "final_value", "lost_updates"],
+            rows=[list(row) for row in rows],
+            metrics={
+                "semaphore_lost_updates": expected - locked,
+                "unprotected_lost_updates": expected - unlocked,
+            },
+            notes="Deterministic seeded run: the semaphore-protected "
+                  "counter loses nothing, the unprotected RMW races.",
+        )
     )

@@ -12,6 +12,10 @@ from repro import AmpNetCluster, ClusterConfig
 from repro.analysis import fmt_ns, render_table
 from repro.cache import RegionSpec
 
+import harness
+
+CACHE_SIZES_KB = (8, 32, 128)
+
 
 def run_join(cache_kb: int):
     # 512-byte records: the refresh cost under test is the snapshot
@@ -69,18 +73,17 @@ def run_version_rejection():
 
 def run_experiment():
     rows = []
-    for cache_kb in (8, 32, 128):
+    for cache_kb in CACHE_SIZES_KB:
         elapsed, snapshot_bytes = run_join(cache_kb)
-        rows.append((f"{cache_kb} KB", snapshot_bytes, fmt_ns(elapsed)))
+        rows.append((cache_kb, snapshot_bytes, elapsed))
     members = run_version_rejection()
     return rows, members
 
 
-def test_f8_assimilation_and_refresh(benchmark, publish):
+def test_f8_assimilation_and_refresh(benchmark, publish, publish_json):
     rows, members = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     # Assimilation completes at every size and latency grows with payload.
-    times = [r[2] for r in rows]
     snapshot_sizes = [r[1] for r in rows]
     assert snapshot_sizes == sorted(snapshot_sizes)
     # Version gate (slide 17): the incompatible node is not rostered.
@@ -91,8 +94,24 @@ def test_f8_assimilation_and_refresh(benchmark, publish):
         render_table(
             "F8 (slides 17-18): crash + re-entry -> cache refresh",
             ["Network cache payload", "Snapshot bytes", "JOIN -> warm"],
-            rows,
+            [(f"{kb} KB", snap, fmt_ns(ns)) for kb, snap, ns in rows],
         )
         + "\nVersion enforcement: node with protocol 0.9 kept out of a"
         f" 1.0 network (roster = {sorted(members)}).",
+    )
+    publish_json(
+        harness.bench_payload(
+            exp="F8",
+            title="Assimilation and cache refresh: crash, re-entry, warm-up",
+            params={"cache_sizes_kb": list(CACHE_SIZES_KB), "n_nodes": 6},
+            columns=["cache_kb", "snapshot_bytes", "assimilation_ns"],
+            rows=[list(row) for row in rows],
+            metrics={
+                "version_rejected_roster_size": len(members),
+                "max_assimilation_ns": max(r[2] for r in rows),
+            },
+            notes="Snapshot bytes and assimilation time grow with the "
+                  "cache payload; the protocol-0.9 node is excluded from "
+                  "the roster entirely (version gate).",
+        )
     )

@@ -26,12 +26,11 @@ number is the same-workload wall ratio (``speedup_same_workload``).
 Sizes can be overridden for smoke runs: ``P1_SIZES=16 pytest ...``.
 """
 
-import os
-
 from repro.analysis import render_table
 from repro.perf import PerfProbe
 from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.scenarios.runner import ScenarioRunner
+from repro.sweep import pool_map
 
 import harness
 
@@ -47,10 +46,7 @@ PRE_REFACTOR_BASELINE = {
 
 
 def sizes_under_test():
-    env = os.environ.get("P1_SIZES")
-    if not env:
-        return DEFAULT_SIZES
-    return tuple(int(tok) for tok in env.replace(",", " ").split())
+    return harness.sizes_from_env("P1_SIZES", DEFAULT_SIZES)
 
 
 def storm_spec(n_nodes: int) -> ScenarioSpec:
@@ -84,12 +80,16 @@ def run_size(n_nodes: int):
 
 
 def run_experiment():
-    rows = []
-    for n in sizes_under_test():
-        result, report = run_size(n)
-        base = PRE_REFACTOR_BASELINE.get(n)
-        rows.append((n, result, report, base))
-    return rows
+    # Size grid through the sweep pool.  Serial by default: the wall
+    # numbers in the committed emission come from an uncontended
+    # machine; REPRO_SWEEP_WORKERS=N trades wall-metric fidelity for
+    # turnaround (the deterministic events column is unaffected).
+    sizes = sizes_under_test()
+    outs = pool_map(run_size, [(n,) for n in sizes])
+    return [
+        (n, result, report, PRE_REFACTOR_BASELINE.get(n))
+        for n, (result, report) in zip(sizes, outs)
+    ]
 
 
 def test_p1_kernel_throughput(benchmark, publish, publish_json):

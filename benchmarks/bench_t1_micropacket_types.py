@@ -16,6 +16,8 @@ from repro.micropacket import (
     unpack,
 )
 
+import harness
+
 
 def sample_packet(ptype: MicroPacketType) -> MicroPacket:
     if ptype == MicroPacketType.DMA:
@@ -42,7 +44,7 @@ def build_rows():
     return rows
 
 
-def test_t1_micropacket_type_table(benchmark, publish):
+def test_t1_micropacket_type_table(benchmark, publish, publish_json):
     rows = build_rows()
 
     # Slide-4 ground truth.
@@ -73,4 +75,26 @@ def test_t1_micropacket_type_table(benchmark, publish):
             ["MicroPacket", "Length", "Mandatory", "Wire bytes", "Frame bits"],
             rows,
         ),
+    )
+    publish_json(
+        harness.bench_payload(
+            exp="T1",
+            title="MicroPacket type table with measured wire sizes",
+            params={"types": len(rows)},
+            columns=["type", "length", "mandatory", "wire_bytes", "frame_bits"],
+            rows=[
+                [info.name, info.length, info.mandatory,
+                 sample_packet(ptype).wire_bytes,
+                 frame_wire_bits(sample_packet(ptype).wire_bytes)]
+                for ptype, info in TYPE_REGISTRY.items()
+            ],
+            metrics={
+                "fixed_cell_wire_bytes": 12,
+                "max_variable_wire_bytes": max(
+                    sample_packet(p).wire_bytes for p in TYPE_REGISTRY
+                ),
+            },
+            notes="Regenerated from the implementation's TYPE_REGISTRY; "
+                  "wire sizes measured from packed sample packets.",
+        )
     )

@@ -16,8 +16,14 @@ experiment:
   so they get their own (much looser) tolerance.  Simulated-time
   numbers (latencies in ns, counts, drops) are deterministic under the
   seed and held to the strict tolerance.
-* **row drift** — numeric cells of rows whose first column (the row
-  key: node count, stream name, ...) matches across both trees.
+* **row drift** — numeric cells of rows whose key matches across both
+  trees.  The row key is the shortest prefix of leading cells that is
+  unique within each tree: plain benches join on their first column
+  (node count, stream name, ...) exactly as before, while sweep
+  aggregates — which repeat the first column across one row per
+  (scenario, metric) — automatically join on (scenario, metric).
+  Joining on the first column alone used to collapse such rows
+  (last-one-wins), silently comparing the wrong cells.
 * **coverage changes** — experiments present on only one side, and rows
   or metrics added/removed.  An emission present in OLD but missing
   entirely from NEW is a **failure** (a deleted or silently-skipped
@@ -119,20 +125,26 @@ def compare_exp(
         if change > limit:
             drifts.append(Drift(exp, f"metrics.{key}", a, b, change, volatile))
 
-    # Rows: join on the first column, compare numeric cells per column.
+    # Rows: join on the shortest unique leading-cell key, compare
+    # numeric cells per column.
     columns = old.get("columns", [])
     if columns == new.get("columns", []):
-        old_rows = {row[0]: row for row in old.get("rows", []) if row}
-        new_rows = {row[0]: row for row in new.get("rows", []) if row}
+        width = _row_key_width(columns, old.get("rows", []),
+                               new.get("rows", []))
+        old_rows = {tuple(row[:width]): row
+                    for row in old.get("rows", []) if row}
+        new_rows = {tuple(row[:width]): row
+                    for row in new.get("rows", []) if row}
         for key in sorted(set(old_rows) | set(new_rows), key=str):
+            label = key[0] if width == 1 else key
             if key not in old_rows:
-                notes.append(f"  note {exp}: row {key!r} added")
+                notes.append(f"  note {exp}: row {label!r} added")
                 continue
             if key not in new_rows:
-                notes.append(f"  note {exp}: row {key!r} removed")
+                notes.append(f"  note {exp}: row {label!r} removed")
                 continue
-            for col, a, b in zip(columns[1:], old_rows[key][1:],
-                                 new_rows[key][1:]):
+            for col, a, b in zip(columns[width:], old_rows[key][width:],
+                                 new_rows[key][width:]):
                 if not (_is_number(a) and _is_number(b)):
                     continue
                 volatile = is_volatile(col)
@@ -140,12 +152,29 @@ def compare_exp(
                 change = rel_change(a, b)
                 if change > limit:
                     drifts.append(Drift(
-                        exp, f"row[{key!r}].{col}", a, b, change, volatile
+                        exp, f"row[{label!r}].{col}", a, b, change, volatile
                     ))
     else:
         notes.append(f"  note {exp}: columns changed (rows not compared)")
 
     return drifts, notes
+
+
+def _row_key_width(columns: List[str], *row_sets: List[List[Any]]) -> int:
+    """Shortest leading-cell prefix that uniquely keys every row set.
+
+    A width-1 key (the historical behaviour) suffices for plain bench
+    tables; aggregate emissions repeat their first column, so the key
+    widens until rows stop colliding (or every column is consumed).
+    """
+    for width in range(1, max(len(columns), 1) + 1):
+        if all(
+            len({tuple(row[:width]) for row in rows if row}) ==
+            len([row for row in rows if row])
+            for rows in row_sets
+        ):
+            return width
+    return len(columns)
 
 
 def load_tree(path: pathlib.Path) -> Dict[str, Dict[str, Any]]:

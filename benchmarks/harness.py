@@ -20,9 +20,10 @@ an emission by hand, or ``... validate --all`` for every JSON result.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 SCHEMA_VERSION = "repro-bench/1"
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -147,12 +148,62 @@ def validate_payload(payload: Any) -> None:
 
 def write_result(payload: Dict[str, Any],
                  results_dir: pathlib.Path = RESULTS_DIR) -> pathlib.Path:
-    """Validate and persist one emission as ``<exp>.json``."""
+    """Validate and persist one emission as ``<exp>.json``.
+
+    The write is atomic: the document is staged in a sibling temp file
+    and lands via ``os.replace``, so concurrent sweep workers emitting
+    into one results tree — or a crash mid-write — can never leave a
+    truncated JSON where a committed result belongs.  Readers see
+    either the old complete document or the new complete document.
+    """
     validate_payload(payload)
-    results_dir.mkdir(exist_ok=True)
+    results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / f"{payload['exp']}.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp = results_dir / f".{payload['exp']}.json.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
+
+
+def sizes_from_env(name: str, default: Sequence[int]) -> Tuple[int, ...]:
+    """Size axis for a bench grid, overridable via the environment.
+
+    ``F10_SIZES="4, 8" pytest ...`` style overrides used to be parsed
+    ad hoc per bench, crashing on stray whitespace and silently
+    accepting duplicates (which double-run and double-count a grid
+    row).  This is the one shared parser: comma- or whitespace-
+    separated integers, tolerant of trailing commas and blank tokens,
+    strict about everything that would corrupt a grid — non-integer
+    tokens, non-positive sizes and duplicates all raise ``ValueError``
+    naming the variable.  Unset (or all-whitespace) falls back to
+    ``default``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return tuple(default)
+    tokens = [tok for tok in raw.replace(",", " ").split() if tok]
+    if not tokens:
+        raise ValueError(f"{name} is set but contains no sizes: {raw!r}")
+    sizes: List[int] = []
+    for token in tokens:
+        try:
+            value = int(token)
+        except ValueError:
+            raise ValueError(
+                f"{name}: {token!r} is not an integer (in {raw!r})"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{name}: sizes must be positive, got {value}")
+        if value in sizes:
+            raise ValueError(
+                f"{name}: duplicate size {value} (a duplicated size "
+                "would double-run and double-count a grid row)"
+            )
+        sizes.append(value)
+    return tuple(sizes)
 
 
 def validate_file(path: pathlib.Path) -> None:

@@ -10,6 +10,10 @@
 ``run`` exits non-zero if any invariant fails; ``digest`` re-runs the
 scenario and prints one trace digest per run (the golden-trace tests
 document their update procedure in terms of this command).
+
+One run at a time: for a (scenario × seed × size) grid fanned across a
+worker pool with aggregated statistics, use ``python -m repro.sweep``
+(see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from .library import SCENARIOS, get_scenario, scenario_names
 from .runner import ScenarioResult, run_scenario
 
 
-def _print_result(result: ScenarioResult) -> None:
+def print_result(result: ScenarioResult) -> None:
+    """One human-readable block per run (shared with ``repro.sweep``)."""
     status = "OK" if result.ok else "FAIL"
     span = result.end_ns - result.ring_up_ns
     print(f"[{status}] {result.name} (seed {result.seed}): "
@@ -87,7 +92,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     for name in names:
         spec = get_scenario(name, seed=args.seed)
         result = run_scenario(spec)
-        _print_result(result)
+        print_result(result)
         results.append((spec, result))
     if args.json:
         # Always a list, even for one scenario: consumers get one shape.

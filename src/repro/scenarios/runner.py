@@ -70,6 +70,14 @@ class InvariantResult:
     ok: bool
     detail: str = ""
 
+    def __post_init__(self) -> None:
+        # Results cross multiprocessing pool boundaries (repro.sweep), so
+        # the detail must be plain data: a judge that smuggles in an
+        # exception object (or any other live handle) is flattened to its
+        # string form here rather than breaking pickle transport later.
+        if not isinstance(self.detail, str):
+            object.__setattr__(self, "detail", str(self.detail))
+
 
 @dataclass
 class ScenarioResult:
@@ -110,6 +118,31 @@ class ScenarioResult:
             "convergence": dict(self.convergence),
             "trace_digest": self.trace_digest,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioResult":
+        """Rehydrate a :meth:`to_dict` payload.
+
+        The inverse used on the receiving side of a pool boundary
+        (:mod:`repro.sweep` ships results between workers as plain
+        dicts) and by any consumer of the CLI's ``--json`` output.
+        ``ok`` is recomputed from the invariants, never trusted.
+        """
+        return cls(
+            name=payload["name"],
+            seed=payload["seed"],
+            tour_ns=payload["tour_ns"],
+            ring_up_ns=payload["ring_up_ns"],
+            end_ns=payload["end_ns"],
+            streams=[dict(s) for s in payload.get("streams", [])],
+            invariants=[
+                InvariantResult(i["name"], i["ok"], i.get("detail", ""))
+                for i in payload.get("invariants", [])
+            ],
+            counters=dict(payload.get("counters", {})),
+            convergence=dict(payload.get("convergence", {})),
+            trace_digest=payload.get("trace_digest", ""),
+        )
 
 
 class ScenarioRunner:

@@ -402,6 +402,51 @@ class ScenarioSpec:
     def with_seed(self, seed: int) -> "ScenarioSpec":
         return replace(self, seed=seed)
 
+    def with_size(self, n_nodes: int) -> "ScenarioSpec":
+        """The same scenario on an ``n_nodes``-node ring.
+
+        The size axis of a sweep grid (see :mod:`repro.sweep`): only the
+        topology scales — workloads, faults and invariants are untouched,
+        so every node id the spec references must still exist on the
+        resized ring.  The name gains an ``_n{size}`` suffix so grid
+        rows, digests and emissions stay distinguishable per size.
+        Single-segment topologies only (routed shapes size their
+        segments explicitly).
+        """
+        if self.topology.multi_segment:
+            raise ValueError(
+                "with_size applies to single-segment topologies; "
+                "multi-segment scenarios size their segments explicitly"
+            )
+        if n_nodes < 2:
+            raise ValueError("with_size needs at least 2 nodes")
+        from ..micropacket import BROADCAST
+
+        referenced = set()
+        for workload in self.workloads:
+            for attr in ("src", "dst"):
+                addr = getattr(workload, attr)
+                if isinstance(addr, int) and addr != BROADCAST:
+                    referenced.add(addr)
+        for fault in self.faults:
+            if fault.node is not None:
+                referenced.add(fault.node)
+            referenced.update(fault.nodes)
+        for dead in self.expect_dead:
+            if isinstance(dead, int):
+                referenced.add(dead)
+        out_of_range = sorted(n for n in referenced if n >= n_nodes)
+        if out_of_range:
+            raise ValueError(
+                f"scenario {self.name!r} references node ids "
+                f"{out_of_range} which do not exist at n_nodes={n_nodes}"
+            )
+        return replace(
+            self,
+            name=f"{self.name}_n{n_nodes}",
+            topology=replace(self.topology, n_nodes=n_nodes),
+        )
+
     def build_cluster(self, seed: Optional[int] = None):
         """Construct the (not yet started) cluster this spec describes.
 

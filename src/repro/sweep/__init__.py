@@ -1,0 +1,55 @@
+"""Parallel sweep orchestrator: seed/size grids over the scenario engine.
+
+Single-process scenario runs — not the kernel — are the bottleneck on
+experiment throughput, and a single-seed point estimate carries no
+confidence information.  This package turns one declarative grid
+
+    (scenario × seed × size-override)
+
+into independent :class:`~repro.scenarios.ScenarioSpec` runs fanned
+across a ``multiprocessing`` pool, and merges the per-run results into
+one aggregate ``repro-bench/1`` JSON: mean / p95 / min / max of every
+core metric across the seed axis, with per-seed trace digests recorded
+so same-seed divergence between workers fails the sweep instead of
+silently polluting the statistics.
+
+Three layers, smallest first:
+
+* :func:`pool_map` — order-preserving pool map for bench grids (F6,
+  F10 and P1 drive their size axes through it; serial by default,
+  ``REPRO_SWEEP_WORKERS`` opts in to fan-out);
+* :class:`SweepGrid` + :func:`run_grid` — the grid API: expand, run,
+  collect ``ScenarioResult.to_dict()`` payloads in grid order;
+* ``python -m repro.sweep`` — the CLI: named scenarios, seed/size
+  flags, worker pool, aggregate emission (see
+  :mod:`repro.sweep.__main__`).
+
+Determinism contract: the same grid yields a byte-identical aggregate
+at ``--workers 1`` and ``--workers N`` — results are ordered by grid
+position, never completion — which the regression suite and CI's
+sweep-smoke job both pin.
+"""
+
+from .aggregate import (
+    SweepDivergenceError,
+    SweepError,
+    aggregate_payload,
+    collect_failures,
+    write_json,
+)
+from .grid import SweepCell, SweepGrid, grid_from_names
+from .runner import pool_map, run_grid, workers_from_env
+
+__all__ = [
+    "SweepCell",
+    "SweepGrid",
+    "SweepDivergenceError",
+    "SweepError",
+    "aggregate_payload",
+    "collect_failures",
+    "grid_from_names",
+    "pool_map",
+    "run_grid",
+    "workers_from_env",
+    "write_json",
+]

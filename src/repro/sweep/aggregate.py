@@ -1,0 +1,251 @@
+"""Merge per-run results into one aggregate ``repro-bench/1`` emission.
+
+The aggregate is the sweep's whole product: per scenario, the
+distribution of every core metric across the seed axis (mean / p95 /
+min / max), with per-seed trace digests recorded so
+
+* a reader can tell exactly which runs produced a row, and
+* same-seed divergence is *detected*: a deterministic simulator must
+  produce one digest per ``(scenario, seed)``, so replicated cells (or
+  a buggy worker) disagreeing on a digest fail the sweep loudly
+  (:class:`SweepDivergenceError`) instead of averaging garbage.
+
+Everything here is deterministic given the grid: records are already in
+grid order (see :mod:`repro.sweep.runner`), scenario rows follow the
+grid's scenario order, metric rows a fixed canonical order, and the
+payload is emitted with the same stable formatting the bench harness
+uses — so the same grid produces a byte-identical JSON at any worker
+count, which CI pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .grid import SweepGrid
+
+__all__ = [
+    "SweepError",
+    "SweepDivergenceError",
+    "aggregate_payload",
+    "collect_failures",
+    "write_json",
+]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Core per-run metrics aggregated across seeds, in row order.
+CORE_METRICS = (
+    "ring_up_ns",
+    "span_ns",
+    "tour_ns",
+    "offered",
+    "delivered",
+    "bytes_delivered",
+    "ring_drops",
+    "faults_fired",
+    "trace_records",
+)
+
+
+class SweepError(RuntimeError):
+    """A sweep could not produce a trustworthy aggregate."""
+
+
+class SweepDivergenceError(SweepError):
+    """Same (scenario, seed) produced different trace digests."""
+
+
+def _numbers_from(result: Dict[str, Any]) -> Dict[str, float]:
+    """The aggregatable scalars of one ``ScenarioResult.to_dict()``."""
+    out: Dict[str, float] = {
+        "ring_up_ns": result["ring_up_ns"],
+        "span_ns": result["end_ns"] - result["ring_up_ns"],
+        "tour_ns": result["tour_ns"],
+    }
+    counters = result.get("counters", {})
+    for key in ("offered", "delivered", "ring_drops", "faults_fired",
+                "trace_records"):
+        out[key] = counters.get(key, 0)
+    # Pool the per-stream delivery latency summaries: the seed axis
+    # moves arrival processes, so these are the distributions a sweep
+    # exists to measure.
+    samples = 0
+    weighted_mean = 0.0
+    worst = 0.0
+    for stream in result.get("streams", []):
+        latency = stream.get("latency")
+        if not latency or not latency.get("count"):
+            continue
+        samples += int(latency["count"])
+        weighted_mean += latency["mean"] * latency["count"]
+        worst = max(worst, latency["max"])
+    if samples:
+        out["latency_mean_ns"] = weighted_mean / samples
+        out["latency_max_ns"] = worst
+    out["bytes_delivered"] = sum(
+        s.get("bytes_delivered", 0) for s in result.get("streams", [])
+    )
+    for key, value in result.get("convergence", {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"convergence.{key}"] = value
+    return out
+
+
+def _p95(sorted_values: Sequence[float]) -> float:
+    """Nearest-rank 95th percentile (deterministic, no interpolation)."""
+    n = len(sorted_values)
+    rank = max(1, -(-95 * n // 100))  # ceil(0.95 * n) in integer math
+    return sorted_values[rank - 1]
+
+
+def _stat_row(scenario: str, metric: str,
+              values: Sequence[float]) -> List[Any]:
+    ordered = sorted(values)
+    mean = sum(ordered) / len(ordered)
+    return [
+        scenario,
+        metric,
+        len(ordered),
+        round(mean, 3),
+        round(_p95(ordered), 3),
+        round(ordered[0], 3),
+        round(ordered[-1], 3),
+    ]
+
+
+def _merge_cells(
+    records: Sequence[Dict[str, Any]],
+) -> "Dict[Tuple[str, int], Dict[str, Any]]":
+    """Group replicate records per (scenario, seed); verify digests.
+
+    Returns one representative record per cell, in first-appearance
+    (grid) order.  Raises :class:`SweepError` for worker errors and
+    :class:`SweepDivergenceError` when replicates of a cell disagree on
+    the trace digest.
+    """
+    errors = [r for r in records if "error" in r]
+    if errors:
+        first = errors[0]
+        raise SweepError(
+            f"{len(errors)} run(s) raised; first: "
+            f"{first['name']} seed {first['seed']}:\n{first['error']}"
+        )
+    cells: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    for record in records:
+        key = (record["name"], record["seed"])
+        digest = record["result"]["trace_digest"]
+        if key not in cells:
+            cells[key] = record
+            continue
+        seen = cells[key]["result"]["trace_digest"]
+        if digest != seen:
+            raise SweepDivergenceError(
+                f"scenario {key[0]!r} seed {key[1]}: replicate "
+                f"{record['replicate']} produced digest {digest}, "
+                f"replicate {cells[key]['replicate']} produced {seen} — "
+                "same-seed runs must be identical"
+            )
+    return cells
+
+
+def collect_failures(
+    records: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Runs whose invariants failed, in grid order."""
+    return [
+        r for r in records
+        if "result" in r and not r["result"].get("ok", False)
+    ]
+
+
+def aggregate_payload(
+    grid: SweepGrid,
+    records: Sequence[Dict[str, Any]],
+    exp: str,
+    title: str = "",
+    notes: str = "",
+) -> Dict[str, Any]:
+    """Fold grid records into one ``repro-bench/1`` payload."""
+    cells = _merge_cells(records)
+    rows: List[List[Any]] = []
+    scenarios: List[Dict[str, Any]] = []
+    failed = 0
+    for spec in grid.specs:
+        per_seed = []
+        digests: Dict[str, str] = {}
+        ok = True
+        for seed in grid.seeds:
+            record = cells.get((spec.name, seed))
+            if record is None:
+                raise SweepError(
+                    f"no result for scenario {spec.name!r} seed {seed}"
+                )
+            result = record["result"]
+            per_seed.append(_numbers_from(result))
+            digests[str(seed)] = result["trace_digest"]
+            if not result.get("ok", False):
+                ok = False
+                failed += 1
+        # Convergence keys are aggregated only when every seed reported
+        # them (a mean over a partial column would be a lie).
+        extra = sorted(
+            set.intersection(*(set(n) for n in per_seed)) - set(CORE_METRICS)
+        )
+        for metric in (*CORE_METRICS, *extra):
+            rows.append(_stat_row(
+                spec.name, metric, [n[metric] for n in per_seed]
+            ))
+        scenarios.append({
+            "name": spec.name,
+            "ok": ok,
+            "seeds": list(grid.seeds),
+            "digests": digests,
+            "spec": spec.to_dict(),
+        })
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "exp": exp,
+        "title": title or (
+            "Seed sweep: " + ", ".join(grid.scenario_names)
+        ),
+        "params": {
+            "scenarios": grid.scenario_names,
+            "seeds": list(grid.seeds),
+            "replicates": grid.replicates,
+        },
+        "columns": ["scenario", "metric", "seeds", "mean", "p95",
+                    "min", "max"],
+        "rows": rows,
+        "metrics": {
+            "runs": len(cells),
+            "scenarios": len(grid.specs),
+            "failed_runs": failed,
+        },
+        "scenarios": scenarios,
+    }
+    if notes:
+        payload["notes"] = notes
+    return payload
+
+
+def write_json(payload: Dict[str, Any], path: pathlib.Path) -> pathlib.Path:
+    """Atomically persist ``payload`` as pretty-printed JSON.
+
+    Same torn-write discipline as ``benchmarks/harness.py``: the
+    document lands via ``os.replace`` of a sibling temp file, so a
+    concurrent reader (or a crash mid-write) can never observe a
+    truncated emission.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path

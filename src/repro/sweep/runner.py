@@ -1,0 +1,126 @@
+"""Fan a sweep grid across a multiprocessing pool.
+
+Workers return ``ScenarioResult.to_dict()`` payloads — plain JSON-safe
+data — never live objects, so nothing a cluster holds (tracer handles,
+open generators) can poison pool transport.  A worker that raises is
+caught *inside* the worker and shipped back as an ``error`` record with
+the formatted traceback: exception objects themselves (which may carry
+unpicklable state) never cross the boundary.
+
+``workers <= 1`` runs every cell inline in the calling process — no
+pool, no pickling — which is both the cheap path for benches running a
+serial grid and the reference half of the workers-1-vs-N determinism
+regression: the output must be identical either way, because results
+are re-sorted into grid order (``SweepCell.index``) on arrival.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..scenarios.runner import ScenarioRunner
+from .grid import SweepCell, SweepGrid
+
+__all__ = ["run_grid", "pool_map", "workers_from_env"]
+
+#: Env var benches consult for their grid fan-out (default: serial).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def _run_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Execute one cell; always returns a plain, picklable dict."""
+    try:
+        result = ScenarioRunner(cell.spec, seed=cell.seed).run()
+        return {
+            "index": cell.index,
+            "name": cell.spec.name,
+            "seed": cell.seed,
+            "replicate": cell.replicate,
+            "result": result.to_dict(),
+        }
+    except Exception:
+        return {
+            "index": cell.index,
+            "name": cell.spec.name,
+            "seed": cell.seed,
+            "replicate": cell.replicate,
+            "error": traceback.format_exc(),
+        }
+
+
+def run_grid(
+    grid: SweepGrid,
+    workers: int = 1,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Run every cell; returns records sorted into grid order.
+
+    ``progress`` (when given) is called once per record as it completes
+    — completion order, not grid order — for live CLI reporting.
+    """
+    cells = grid.cells()
+    records: List[Dict[str, Any]] = []
+    if workers <= 1 or len(cells) == 1:
+        for cell in cells:
+            record = _run_cell(cell)
+            if progress is not None:
+                progress(record)
+            records.append(record)
+    else:
+        with multiprocessing.Pool(min(workers, len(cells))) as pool:
+            for record in pool.imap_unordered(_run_cell, cells, chunksize=1):
+                if progress is not None:
+                    progress(record)
+                records.append(record)
+    # Grid order, not completion order: the aggregate must be
+    # byte-identical at any worker count.
+    records.sort(key=lambda r: r["index"])
+    return records
+
+
+def workers_from_env(default: int = 1) -> int:
+    """Worker count for bench grids, from ``REPRO_SWEEP_WORKERS``.
+
+    Defaults to serial so committed bench emissions are produced by the
+    exact code path they always were; CI's sweep smoke and impatient
+    local runs opt in to fan-out.
+    """
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def _call(task: Tuple[Callable[..., Any], tuple]) -> Any:
+    fn, args = task
+    return fn(*args)
+
+
+def pool_map(
+    fn: Callable[..., Any],
+    argtuples: Sequence[tuple],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving map over a worker pool — the bench-grid helper.
+
+    ``fn(*args)`` runs once per tuple; results come back in *input*
+    order whatever the completion order, so a bench's per-size rows are
+    reproducible at any worker count.  ``workers=None`` reads
+    ``REPRO_SWEEP_WORKERS`` (default serial); serial runs call ``fn``
+    inline with no pool and no pickling.  ``fn`` and its results must be
+    picklable when workers > 1 (module-level functions returning plain
+    data).
+    """
+    if workers is None:
+        workers = workers_from_env()
+    tasks = [(fn, tuple(args)) for args in argtuples]
+    if workers <= 1 or len(tasks) <= 1:
+        return [_call(task) for task in tasks]
+    with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+        return list(pool.imap(_call, tasks, chunksize=1))

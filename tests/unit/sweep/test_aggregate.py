@@ -1,0 +1,157 @@
+"""Unit tests for the sweep aggregator: stats, digests, failure modes."""
+
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, TopologySpec
+from repro.sweep import (
+    SweepDivergenceError,
+    SweepError,
+    SweepGrid,
+    aggregate_payload,
+    collect_failures,
+    write_json,
+)
+
+
+def tiny_spec(name="s"):
+    return ScenarioSpec(
+        name=name,
+        topology=TopologySpec(n_nodes=4, n_switches=2),
+        invariants=("roster_converged",),
+    )
+
+
+def fake_result(delivered=10, digest="d0", ok=True, latency=None):
+    streams = []
+    if latency is not None:
+        count, mean, worst = latency
+        streams.append({
+            "name": "w",
+            "bytes_delivered": delivered * 64,
+            "latency": {"count": count, "mean": mean, "min": 1.0,
+                        "p50": mean, "p99": worst, "max": worst},
+        })
+    return {
+        "name": "s",
+        "seed": 0,
+        "ok": ok,
+        "tour_ns": 1000,
+        "ring_up_ns": 500,
+        "end_ns": 10_500,
+        "counters": {"offered": delivered, "delivered": delivered,
+                     "ring_drops": 0, "faults_fired": 0,
+                     "trace_records": 5},
+        "streams": streams,
+        "invariants": [],
+        "convergence": {},
+        "trace_digest": digest,
+    }
+
+
+def record(name, seed, result, index=0, replicate=0):
+    return {"index": index, "name": name, "seed": seed,
+            "replicate": replicate, "result": result}
+
+
+def grid_and_records(deliveries=(10, 20, 40)):
+    seeds = tuple(range(1, len(deliveries) + 1))
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=seeds)
+    records = [
+        record("s", seed, fake_result(delivered=d, digest=f"d{seed}"),
+               index=i)
+        for i, (seed, d) in enumerate(zip(seeds, deliveries))
+    ]
+    return grid, records
+
+
+def row_for(payload, scenario, metric):
+    for row in payload["rows"]:
+        if row[:2] == [scenario, metric]:
+            return row
+    raise AssertionError(f"no row for {scenario}/{metric}")
+
+
+def test_stats_are_hand_computable():
+    grid, records = grid_and_records(deliveries=(10, 20, 40))
+    payload = aggregate_payload(grid, records, exp="S9")
+    # columns: scenario, metric, seeds, mean, p95, min, max
+    # nearest-rank p95 of 3 values is the max (ceil(0.95*3) = 3).
+    assert row_for(payload, "s", "delivered") == \
+        ["s", "delivered", 3, 23.333, 40, 10, 40]
+    assert row_for(payload, "s", "span_ns") == \
+        ["s", "span_ns", 3, 10000.0, 10000, 10000, 10000]
+    assert payload["metrics"] == {"runs": 3, "scenarios": 1,
+                                  "failed_runs": 0}
+    assert payload["params"] == {"scenarios": ["s"], "seeds": [1, 2, 3],
+                                 "replicates": 1}
+    assert "workers" not in json.dumps(payload)  # determinism contract
+    scenario = payload["scenarios"][0]
+    assert scenario["ok"] is True
+    assert scenario["digests"] == {"1": "d1", "2": "d2", "3": "d3"}
+
+
+def test_latency_is_count_weighted_across_streams():
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=(1,))
+    result = fake_result(latency=(4, 100.0, 400.0))
+    result["streams"].append({
+        "name": "w2", "bytes_delivered": 0,
+        "latency": {"count": 12, "mean": 300.0, "min": 1.0,
+                    "p50": 300.0, "p99": 500.0, "max": 500.0},
+    })
+    payload = aggregate_payload(grid, [record("s", 1, result)], exp="S9")
+    # (4*100 + 12*300) / 16 = 250
+    assert row_for(payload, "s", "latency_mean_ns")[3] == 250.0
+    assert row_for(payload, "s", "latency_max_ns")[3] == 500.0
+
+
+def test_replicate_divergence_fails_the_sweep():
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=(1,), replicates=2)
+    records = [
+        record("s", 1, fake_result(digest="aaaa"), index=0, replicate=0),
+        record("s", 1, fake_result(digest="bbbb"), index=1, replicate=1),
+    ]
+    with pytest.raises(SweepDivergenceError, match="same-seed"):
+        aggregate_payload(grid, records, exp="S9")
+
+
+def test_matching_replicates_aggregate_once():
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=(1,), replicates=2)
+    records = [
+        record("s", 1, fake_result(digest="aaaa"), index=0, replicate=0),
+        record("s", 1, fake_result(digest="aaaa"), index=1, replicate=1),
+    ]
+    payload = aggregate_payload(grid, records, exp="S9")
+    assert row_for(payload, "s", "delivered")[2] == 1  # one seed, not two
+
+
+def test_worker_error_fails_the_sweep_with_the_traceback():
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=(1,))
+    records = [{"index": 0, "name": "s", "seed": 1, "replicate": 0,
+                "error": "Traceback ...\nValueError: boom"}]
+    with pytest.raises(SweepError, match="boom"):
+        aggregate_payload(grid, records, exp="S9")
+
+
+def test_missing_cell_fails_the_sweep():
+    grid = SweepGrid(specs=(tiny_spec(),), seeds=(1, 2))
+    records = [record("s", 1, fake_result())]
+    with pytest.raises(SweepError, match="seed 2"):
+        aggregate_payload(grid, records, exp="S9")
+
+
+def test_collect_failures_reports_failed_runs_in_grid_order():
+    good = record("s", 1, fake_result(), index=0)
+    bad = record("s", 2, fake_result(ok=False), index=1)
+    assert collect_failures([good, bad]) == [bad]
+
+
+def test_write_json_is_atomic_and_stable(tmp_path):
+    grid, records = grid_and_records()
+    payload = aggregate_payload(grid, records, exp="S9")
+    path = write_json(payload, tmp_path / "deep" / "S9.json")
+    # Compare post-JSON (spec dicts hold tuples that round-trip to lists).
+    assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+    # No temp droppings left behind.
+    assert [p.name for p in path.parent.iterdir()] == ["S9.json"]

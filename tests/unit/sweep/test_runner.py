@@ -1,0 +1,58 @@
+"""Unit tests for the sweep pool runner (serial paths + env plumbing)."""
+
+import pytest
+
+from repro.sweep import pool_map, workers_from_env
+from repro.sweep.runner import WORKERS_ENV, _run_cell
+from repro.sweep.grid import SweepCell
+
+
+def test_workers_from_env_defaults_when_unset(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert workers_from_env() == 1
+    assert workers_from_env(default=3) == 3
+    monkeypatch.setenv(WORKERS_ENV, "   ")
+    assert workers_from_env() == 1
+
+
+def test_workers_from_env_parses_and_validates(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    assert workers_from_env() == 4
+    monkeypatch.setenv(WORKERS_ENV, "0")
+    with pytest.raises(ValueError, match=WORKERS_ENV):
+        workers_from_env()
+    monkeypatch.setenv(WORKERS_ENV, "two")
+    with pytest.raises(ValueError):
+        workers_from_env()
+
+
+def _double(x):
+    return x * 2
+
+
+def test_pool_map_serial_preserves_input_order(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert pool_map(_double, [(3,), (1,), (2,)]) == [6, 2, 4]
+
+
+def test_run_cell_traps_exceptions_as_plain_records():
+    """A worker must never ship a live exception across the pool.
+
+    A spec-shaped object whose construction blows up inside the runner
+    must come back as an ``error`` record carrying the formatted
+    traceback (plain string), with the cell's identity intact.
+    """
+
+    class ExplodingSpec:
+        name = "kaboom"
+
+        def __getattr__(self, attr):
+            raise RuntimeError("unpicklable internal state")
+
+    record = _run_cell(SweepCell(index=3, spec=ExplodingSpec(), seed=9))
+    assert record["index"] == 3
+    assert record["name"] == "kaboom"
+    assert record["seed"] == 9
+    assert "result" not in record
+    assert "unpicklable internal state" in record["error"]
+    assert isinstance(record["error"], str)

@@ -100,3 +100,94 @@ def test_cli_validate_without_targets_is_a_usage_error(capsys):
     assert harness._main(["validate"]) == 2
     assert harness._main(["validate", "--all", "extra.json"]) == 2
     assert harness._main([]) == 2
+
+
+# ------------------------------------------------------- atomic emission
+
+def test_write_result_replaces_atomically(tmp_path, monkeypatch):
+    """A failed write must never leave a torn target or temp droppings.
+
+    Regression for the old implementation, which opened the final path
+    directly: a crash mid-``json.dump`` left a truncated emission that
+    every later ``validate``/``diff`` run choked on.
+    """
+    good = good_payload()
+    harness.write_result(good, results_dir=tmp_path)
+
+    def exploding_replace(src, dst):
+        raise OSError("disk went away")
+
+    monkeypatch.setattr(harness.os, "replace", exploding_replace)
+    broken = good_payload()
+    broken["metrics"] = {"total": 999.0}
+    with pytest.raises(OSError):
+        harness.write_result(broken, results_dir=tmp_path)
+    # The committed emission is untouched and no temp file survives.
+    assert json.loads((tmp_path / "F99.json").read_text()) == good
+    assert [p.name for p in tmp_path.iterdir()] == ["F99.json"]
+
+
+def test_write_result_creates_nested_results_dir(tmp_path):
+    target = tmp_path / "a" / "b"
+    path = harness.write_result(good_payload(), results_dir=target)
+    assert path == target / "F99.json"
+    harness.validate_file(path)
+
+
+def test_concurrent_reader_never_sees_a_torn_emission(tmp_path):
+    """Hammer write_result from one thread while another validates."""
+    import threading
+
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            payload = good_payload()
+            payload["metrics"] = {"total": float(i)}
+            harness.write_result(payload, results_dir=tmp_path)
+            i += 1
+
+    harness.write_result(good_payload(), results_dir=tmp_path)
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(200):
+            try:
+                harness.validate_file(tmp_path / "F99.json")
+            except Exception as exc:  # torn read
+                errors.append(exc)
+    finally:
+        stop.set()
+        thread.join()
+    assert not errors
+
+
+# ------------------------------------------------------- sizes_from_env
+
+def test_sizes_from_env_defaults_when_unset(monkeypatch):
+    monkeypatch.delenv("X_SIZES", raising=False)
+    assert harness.sizes_from_env("X_SIZES", (4, 8)) == (4, 8)
+    monkeypatch.setenv("X_SIZES", "   ")
+    assert harness.sizes_from_env("X_SIZES", [4, 8]) == (4, 8)
+
+
+def test_sizes_from_env_tolerates_messy_separators(monkeypatch):
+    monkeypatch.setenv("X_SIZES", " 4, 8,,16 ,")
+    assert harness.sizes_from_env("X_SIZES", ()) == (4, 8, 16)
+
+
+def test_sizes_from_env_rejects_bad_values(monkeypatch):
+    monkeypatch.setenv("X_SIZES", "4,eight")
+    with pytest.raises(ValueError, match="X_SIZES"):
+        harness.sizes_from_env("X_SIZES", ())
+    monkeypatch.setenv("X_SIZES", "4,0")
+    with pytest.raises(ValueError, match="X_SIZES"):
+        harness.sizes_from_env("X_SIZES", ())
+    monkeypatch.setenv("X_SIZES", "8,8")
+    with pytest.raises(ValueError, match="duplicate"):
+        harness.sizes_from_env("X_SIZES", ())
+    monkeypatch.setenv("X_SIZES", ",,")
+    with pytest.raises(ValueError, match="X_SIZES"):
+        harness.sizes_from_env("X_SIZES", ())

@@ -91,3 +91,49 @@ def test_changed_params_still_skip_comparison(tmp_path):
     drifts, notes, missing = diff_results.diff_trees(old, new)
     assert drifts == [] and missing == []
     assert any("params changed" in n for n in notes)
+
+
+def aggregate_emission(exp, latency=100.0):
+    """Sweep-style emission: the first column repeats across rows."""
+    return {
+        "schema": "repro-bench/1",
+        "exp": exp,
+        "title": exp,
+        "params": {"seeds": [1, 2]},
+        "columns": ["scenario", "metric", "mean"],
+        "rows": [
+            ["quiet_ring", "delivered", 120],
+            ["quiet_ring", "latency_mean_ns", latency],
+            ["storm", "delivered", 240],
+        ],
+        "metrics": {"runs": 4},
+    }
+
+
+def test_repeated_first_column_joins_on_widened_key(tmp_path):
+    """Regression: width-1 keys collapsed aggregate rows last-wins.
+
+    With one row per (scenario, metric), joining on the first column
+    alone used to compare 'quiet_ring latency' against 'quiet_ring
+    delivered' — drift in any shadowed row was invisible.
+    """
+    old = write_tree(tmp_path / "old", [aggregate_emission("S1")])
+    new = write_tree(tmp_path / "new",
+                     [aggregate_emission("S1", latency=200.0)])
+    drifts, _notes, missing = diff_results.diff_trees(old, new)
+    assert missing == []
+    assert len(drifts) == 1
+    assert drifts[0].where == "row[('quiet_ring', 'latency_mean_ns')].mean"
+    assert diff_results.main([str(old), str(new), "--check"]) == 1
+
+
+def test_plain_tables_still_join_on_first_column(tmp_path):
+    old = write_tree(tmp_path / "old", [emission("F1", metric=100.0)])
+    new = write_tree(tmp_path / "new", [emission("F1", metric=100.0)])
+    # Unique first column -> historical width-1 behaviour, no drift.
+    drifts, _notes, _missing = diff_results.diff_trees(old, new)
+    assert drifts == []
+    assert diff_results._row_key_width(["k", "v"], [["a", 1], ["b", 2]]) == 1
+    assert diff_results._row_key_width(
+        ["s", "m", "v"], [["a", "x", 1], ["a", "y", 2]]
+    ) == 2
