@@ -1,0 +1,65 @@
+"""Per-router resilience-pattern configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Which resilience patterns a router runs, and their knobs.
+
+    Every pattern defaults **off**: a router built without (or with a
+    default) ``ResilienceConfig`` behaves bit-identically to the
+    pre-pattern routing layer — no new timers, no new trace records —
+    which is what keeps the golden trace digests stable.  Patterns are
+    independent flags; the dead-letter *channel* itself always exists
+    as shared accounting infrastructure (the breaker fails fast into it
+    even when the ``dead_letter`` pattern flag is off), but only the
+    flag makes it consume expired/evicted shadow crossings.
+    """
+
+    #: per-destination circuit breaker over the parked-crossing path
+    circuit_breaker: bool = False
+    #: consecutive park events on one destination before it trips open
+    breaker_threshold: int = 3
+
+    #: dead-letter consumption of TTL-expired / capacity-evicted shadows
+    dead_letter: bool = False
+    #: bounded dead-letter channel depth (entries beyond it are dropped
+    #: oldest-first with a ``dead_letter_overflow`` count)
+    dead_letter_capacity: int = 256
+
+    #: token-bucket pacing of router ingress capture
+    throttle: bool = False
+    #: nanoseconds of refill per admitted fragment (the inverse rate)
+    throttle_token_ns: int = 20_000
+    #: bucket depth in tokens — the burst the capture path absorbs
+    #: without deferring
+    throttle_burst: int = 8
+    #: deferred-fragment FIFO bound; fragments beyond it are shed as
+    #: accounted drops
+    throttle_backlog: int = 256
+
+    #: per-ingress-segment compartments in each egress queue, drained
+    #: round-robin
+    bulkhead: bool = False
+
+    def __post_init__(self) -> None:
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker threshold must be >= 1 park event")
+        if self.dead_letter_capacity < 1:
+            raise ValueError("dead-letter capacity must be >= 1")
+        if self.throttle_token_ns < 1:
+            raise ValueError("throttle token interval must be >= 1 ns")
+        if self.throttle_burst < 1:
+            raise ValueError("throttle burst must be >= 1 token")
+        if self.throttle_backlog < 1:
+            raise ValueError("throttle backlog must be >= 1 fragment")
+
+    @property
+    def any_enabled(self) -> bool:
+        return (self.circuit_breaker or self.dead_letter
+                or self.throttle or self.bulkhead)

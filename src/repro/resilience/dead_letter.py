@@ -1,0 +1,126 @@
+"""The dead-letter accounting channel.
+
+A bounded terminal queue for work the router gives up on, with one hard
+rule: *nothing leaves the routing layer without a count and a reason*.
+Entries carry why they arrived (``circuit_open``, ``shadow_expired``,
+``shadow_evicted``, ``throttle_shed``) and whether they are
+**redrivable** — breaker fail-fasts keep their full crossing so a
+closing breaker can re-offer them to the egress queue, which is what
+preserves the zero-confirmed-and-lost story; shadow expiry and shed
+fragments are accounting records only (their authoritative copy lived
+elsewhere, or is gone).
+
+The channel is deliberately passive: it never schedules timers or
+touches the wire.  Callers (the router) decide when to redrive and are
+responsible for trace records; the channel only keeps the entries and
+the counter vocabulary (``dead_lettered``, ``dead_letter_<reason>``,
+``dead_letter_redriven``, ``dead_letter_overflow``) honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional
+
+from ..sim import Counter
+
+__all__ = ["DeadLetter", "DeadLetterChannel"]
+
+#: The reasons the routing layer dead-letters work.
+DEAD_LETTER_REASONS = (
+    "circuit_open",
+    "shadow_expired",
+    "shadow_evicted",
+    "throttle_shed",
+)
+
+
+@dataclass
+class DeadLetter:
+    """One dead-lettered item."""
+
+    reason: str
+    #: segment id the item was bound out of (redrive routing key);
+    #: -1 when the item is a pure accounting record
+    segment: int
+    #: the crossing itself for redrivable entries (an opaque object with
+    #: a ``dst`` attribute); None for count-only records
+    item: Optional[Any]
+    redrivable: bool
+    #: sim time of consumption
+    at: int = 0
+
+
+class DeadLetterChannel:
+    """Bounded dead-letter queue writing into the router's counters."""
+
+    def __init__(self, capacity: int, counters: Counter):
+        if capacity < 1:
+            raise ValueError("dead-letter capacity must be >= 1")
+        self.capacity = capacity
+        self.counters = counters
+        self.entries: Deque[DeadLetter] = deque()
+
+    def consume(
+        self,
+        item: Optional[Any],
+        reason: str,
+        segment: int = -1,
+        redrivable: bool = False,
+        now: int = 0,
+    ) -> Optional[DeadLetter]:
+        """Account one item; returns the entry evicted by the bound (if
+        any) so the caller can trace the overflow."""
+        if reason not in DEAD_LETTER_REASONS:
+            raise ValueError(f"unknown dead-letter reason {reason!r}")
+        self.counters.incr("dead_lettered")
+        self.counters.incr(f"dead_letter_{reason}")
+        self.entries.append(DeadLetter(reason, segment, item, redrivable, now))
+        if len(self.entries) > self.capacity:
+            self.counters.incr("dead_letter_overflow")
+            return self.entries.popleft()
+        return None
+
+    def redrive(
+        self,
+        segment: Optional[int] = None,
+        dst: Optional[Any] = None,
+        limit: Optional[int] = None,
+    ) -> List[DeadLetter]:
+        """Remove and return redrivable entries, oldest first.
+
+        ``segment``/``dst`` filter to one egress port or one
+        destination; ``limit`` caps how many are taken (a half-open
+        probe re-drives exactly one).  Non-matching and non-redrivable
+        entries keep their order.
+        """
+        out: List[DeadLetter] = []
+        kept: Deque[DeadLetter] = deque()
+        for entry in self.entries:
+            if (
+                entry.redrivable
+                and (segment is None or entry.segment == segment)
+                and (dst is None or getattr(entry.item, "dst", None) == dst)
+                and (limit is None or len(out) < limit)
+            ):
+                out.append(entry)
+            else:
+                kept.append(entry)
+        self.entries = kept
+        if out:
+            self.counters.incr("dead_letter_redriven", len(out))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def clear(self) -> int:
+        """Drop everything (router crash: NIC memory dies); returns how
+        many entries were lost."""
+        lost = len(self.entries)
+        self.entries.clear()
+        return lost

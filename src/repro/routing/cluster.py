@@ -310,6 +310,21 @@ class RoutedCluster:
             for r in self.routers
         )
 
+    def router_counter_totals(self) -> Dict[str, int]:
+        """Every router counter summed across the cluster, plus the two
+        residency gauges the accounting identities need (what is still
+        *held* in shadow buffers and the dead-letter channels).  Key
+        order is sorted, so the dict is replay-comparable."""
+        totals: Dict[str, int] = {}
+        for router in self.routers:
+            for key, value in router.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        totals["dead_letter_resident"] = sum(
+            len(r.dead_letter) for r in self.routers
+        )
+        totals["shadow_resident"] = sum(len(r.shadow) for r in self.routers)
+        return dict(sorted(totals.items()))
+
     # ---------------------------------------------------------- membership
     def membership_converged(self, dead=frozenset()) -> bool:
         """Every segment's gossip views match that segment's ground truth."""

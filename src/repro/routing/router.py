@@ -68,6 +68,13 @@ from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..membership import PeerStatus
 from ..micropacket import BROADCAST, MicroPacket
+from ..resilience import (
+    CircuitBreaker,
+    CompartmentedQueue,
+    DeadLetterChannel,
+    ResilienceConfig,
+    TokenBucket,
+)
 from ..ring import FlowControlConfig
 from ..ring.flow_control import InsertionController
 from ..sim import Counter
@@ -127,10 +134,19 @@ class RouterConfig:
     #: advertise periods a shadow-parked crossing is retained, covering
     #: the failure-detection window with margin
     shadow_ttl_periods: int = 12
+    #: resilience-pattern suite (circuit breaker, dead-letter,
+    #: throttling, bulkhead); None = every pattern off
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         segs = tuple(self.segments)
         object.__setattr__(self, "segments", segs)
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            object.__setattr__(
+                self, "resilience", ResilienceConfig(**dict(self.resilience))
+            )
         if len(segs) < 2:
             raise ValueError("a router joins at least two segments")
         if len(set(segs)) != len(segs):
@@ -167,6 +183,12 @@ class _Crossing:
     #: the origin messenger's transfer id, preserved end to end so every
     #: hop (and the final destination) can dedup replays of this message
     tid: int = 0
+    #: segment the crossing was captured on — the bulkhead's
+    #: compartment key
+    ingress: int = -1
+    #: this crossing has parked at least once (first park and re-parks
+    #: are counted separately; see RouterPort.pump)
+    parked: bool = False
 
 
 @dataclass
@@ -232,31 +254,61 @@ class RouterPort:
         self.peers: Dict[int, _PeerRouter] = {}
         # Egress pacing: the ring's own insertion-control algebra, fed
         # with the egress queue depth instead of a transit buffer.
-        self.controller = InsertionController(
+        self.controller = self._make_controller()
+        self._pump_timer_armed = False
+        self._pump_timer_due = 0
+        #: next instant the parked side list is worth re-polling; keeps
+        #: pacing-cadence wakes from churning the parked set
+        self._parked_retry_at = 0
+        # Resilience patterns (all None/empty when disabled — the
+        # default-off path allocates nothing and takes no branches that
+        # could perturb the pre-pattern timeline).
+        res = router.res
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(res.breaker_threshold, notify=self._breaker_event)
+            if res.circuit_breaker else None
+        )
+        self.throttle: Optional[TokenBucket] = (
+            TokenBucket(res.throttle_token_ns, res.throttle_burst,
+                        now=cluster.sim.now)
+            if res.throttle else None
+        )
+        #: fragments awaiting throttle tokens (FIFO: order preserved)
+        self._deferred: Deque[MicroPacket] = deque()
+        self._throttle_armed = False
+
+    def _make_controller(self) -> InsertionController:
+        cfg = self.router.config
+        controller = InsertionController(
             FlowControlConfig(
                 transit_capacity=cfg.egress_capacity,
                 window_override=cfg.egress_window,
                 hi_watermark=max(2, cfg.egress_capacity // 4),
             )
         )
-        self.controller.ring_installed(2)  # window comes from the override
-        self._pump_timer_armed = False
-        self._pump_timer_due = 0
-        #: next instant the parked side list is worth re-polling; keeps
-        #: pacing-cadence wakes from churning the parked set
-        self._parked_retry_at = 0
+        controller.ring_installed(2)  # window comes from the override
+        return controller
 
     # ------------------------------------------------------------- egress
     def enqueue(self, crossing: _Crossing) -> bool:
         """Queue a crossing for re-origination; False when full (drop).
 
         Parked crossings count against the capacity too: a partition
-        must exert backpressure, not grow an unbounded side list.
+        must exert backpressure, not grow an unbounded side list.  With
+        the bulkhead pattern on, the crossing must additionally fit its
+        ingress segment's compartment — a saturated neighbour is turned
+        away (counted) before it can displace anyone else's share.
         """
         if self.backlog >= self.router.config.egress_capacity:
             return False
-        self.queue.append(crossing)
-        self.controller.observe_transit_depth(len(self.queue))
+        queue = self.queue
+        if isinstance(queue, CompartmentedQueue) and not queue.accepts(
+            crossing.ingress
+        ):
+            self.router.counters.incr("bulkhead_isolated_rejects")
+            return False
+        queue.append(crossing)
+        self.controller.observe_transit_depth(len(queue))
         self.pump()
         return True
 
@@ -271,20 +323,49 @@ class RouterPort:
         at the queue head — keeps later crossings to live destinations
         flowing.  Parked traffic re-queues when the destination
         re-rosters (ring-up hook) or on the retry timer.
+
+        The first park of a crossing and its re-parks on later retry
+        polls are distinct events (``egress_parked`` vs
+        ``egress_reparked``): one crossing to a long-dead destination
+        counts as one parked crossing, however many retry cycles it
+        survives.  With the circuit breaker on, each park is also a
+        failure vote — at the threshold the destination trips OPEN and
+        offers to it fail fast into the dead-letter channel until a
+        half-open probe (on the same retry cadence) delivers.
         """
         if self.router.failed:
             return
         sim = self.router.sim
         now = sim.now
         controller = self.controller
+        counters = self.router.counters
+        breaker = self.breaker
         while self.queue and controller.may_insert(now):
-            crossing = self.queue[0]
-            if not self._deliverable(crossing):
-                self.queue.popleft()
-                self.parked.setdefault(crossing.dst, []).append(crossing)
-                self.router.counters.incr("egress_parked")
+            crossing = self.queue.popleft()
+            if breaker is not None and not breaker.admit(crossing.dst, now):
+                self.router.dead_letter_crossing(
+                    crossing, "circuit_open", self.segment_id,
+                    redrivable=True,
+                )
                 continue
-            self.queue.popleft()
+            if not self._deliverable(crossing):
+                if breaker is not None and breaker.record_park(
+                    crossing.dst, now, self.retry_ns
+                ):
+                    self._fail_fast_destination(crossing)
+                    continue
+                self.parked.setdefault(crossing.dst, []).append(crossing)
+                if crossing.parked:
+                    counters.incr("egress_reparked")
+                else:
+                    crossing.parked = True
+                    counters.incr("egress_parked")
+                continue
+            if breaker is not None and breaker.record_delivery(crossing.dst):
+                # A half-open probe succeeded: the breaker closed, so
+                # re-drive everything that failed fast while it was open
+                # (appended behind the probe; drained by this same loop).
+                self._redrive_dead_letters(crossing.dst)
             controller.inserted(now)
             handle = self.gateway.messenger.send_global(
                 crossing.dst,
@@ -345,7 +426,49 @@ class RouterPort:
     def ring_up(self) -> None:
         """A new roster may restore a parked crossing's destination."""
         self.requeue_parked()
+        self._probe_breakers()
         self.pump()
+
+    # -------------------------------------------------- circuit breaker
+    def _breaker_event(self, event: str, dst: GlobalAddress) -> None:
+        self.router.counters.incr(f"breaker_{event}")
+        if event in ("opened", "closed"):
+            self.router.tracer.record(
+                self.router.sim.now, "routing", self.router.name,
+                event=f"breaker_{event}", segment=self.segment_id, dst=dst,
+            )
+
+    def _fail_fast_destination(self, crossing: _Crossing) -> None:
+        """The breaker tripped OPEN on ``crossing.dst``: this crossing
+        and every parked sibling go to the dead-letter channel
+        (redrivable — a closing breaker brings them back)."""
+        dead_letter = self.router.dead_letter_crossing
+        for parked in self.parked.pop(crossing.dst, []):
+            dead_letter(parked, "circuit_open", self.segment_id,
+                        redrivable=True)
+        dead_letter(crossing, "circuit_open", self.segment_id,
+                    redrivable=True)
+
+    def _redrive_dead_letters(
+        self, dst: Optional[GlobalAddress] = None, limit: Optional[int] = None
+    ) -> int:
+        """Move this port's redrivable dead-letter entries back into the
+        queue; returns how many were re-offered."""
+        entries = self.router.dead_letter.redrive(
+            segment=self.segment_id, dst=dst, limit=limit
+        )
+        for entry in entries:
+            self.queue.append(entry.item)
+        return len(entries)
+
+    def _probe_breakers(self) -> None:
+        """Half-open probing on the retry cadence: for each OPEN
+        destination whose probe window arrived, re-offer one of its
+        dead-lettered crossings — ``pump`` admits it as the probe."""
+        if self.breaker is None:
+            return
+        for dst in self.breaker.probes_due(self.router.sim.now):
+            self._redrive_dead_letters(dst, limit=1)
 
     @property
     def retry_ns(self) -> int:
@@ -363,11 +486,80 @@ class RouterPort:
             return
         if self.parked and self.router.sim.now >= self._parked_retry_at:
             self.requeue_parked()
+        self._probe_breakers()
         self.pump()
 
     def _confirmed(self, _event) -> None:
         self.controller.tour_completed()
         self.pump()
+
+    # --------------------------------------------------------- throttling
+    def admit_fragment(self, pkt: MicroPacket) -> bool:
+        """Token-bucket gate on ingress capture.
+
+        True: process the fragment now.  False: it was deferred into the
+        bounded FIFO (drained as tokens mature) or — beyond the backlog
+        bound — shed as an accounted drop.  FIFO order is preserved: new
+        fragments defer behind an existing backlog even when a token is
+        available, so throttling never reorders a fragment train.
+        """
+        bucket = self.throttle
+        if bucket is None:
+            return True
+        now = self.router.sim.now
+        if not self._deferred and bucket.try_take(now):
+            return True
+        if len(self._deferred) >= self.router.res.throttle_backlog:
+            self.router.counters.incr("throttle_shed")
+            self.router.dead_letter_crossing(
+                None, "throttle_shed", self.segment_id
+            )
+            return False
+        self._deferred.append(pkt)
+        self.router.counters.incr("throttle_deferred")
+        self._arm_throttle_timer()
+        return False
+
+    def _arm_throttle_timer(self) -> None:
+        if self._throttle_armed:
+            return
+        self._throttle_armed = True
+        delay = max(1, self.throttle.delay_until_ready(self.router.sim.now))
+        self.router.sim.call_in(delay, self._throttle_timer)
+
+    def _throttle_timer(self) -> None:
+        self._throttle_armed = False
+        if self.router.failed:
+            return
+        now = self.router.sim.now
+        while self._deferred and self.throttle.try_take(now):
+            pkt = self._deferred.popleft()
+            self.router.ingest_now(self, self.segment_id, pkt)
+        if self._deferred:
+            self._arm_throttle_timer()
+
+    # ----------------------------------------------------------- recovery
+    def reset(self) -> None:
+        """Cold restart after a router recovery.
+
+        The insertion controller may have died window-full (its
+        unconfirmed sends' callbacks went down with the gateway), a
+        pump/throttle timer may have fired into the ``failed`` early
+        return, and breaker/bucket state described a world that no
+        longer exists — all of it is NIC state, so all of it resets.
+        Without this, a recovered router whose controller still counts
+        crashed-era sends as outstanding would never pump again.
+        """
+        self.controller = self._make_controller()
+        self._pump_timer_armed = False
+        self._pump_timer_due = 0
+        self._parked_retry_at = 0
+        self._deferred.clear()
+        self._throttle_armed = False
+        if self.breaker is not None:
+            self.breaker.reset()
+        if self.throttle is not None:
+            self.throttle.reset(self.router.sim.now)
 
     # ------------------------------------------------------------ queries
     @property
@@ -405,6 +597,15 @@ class SegmentRouter:
         #: crossings captured while role-blocked, held for failover
         self.shadow: Deque[_Shadow] = deque()
         self.counters = Counter()
+        #: resilience policy (defaults = every pattern off)
+        self.res = (config.resilience if config.resilience is not None
+                    else ResilienceConfig())
+        #: the dead-letter accounting channel always exists (the breaker
+        #: fails fast into it regardless of the dead_letter flag); inert
+        #: and allocation-free until something consumes into it
+        self.dead_letter = DeadLetterChannel(
+            self.res.dead_letter_capacity, self.counters
+        )
         self.sim = None  # bound at first attach
         self.tracer = None
         self._reassembly: Dict[Tuple[int, int, int], _Reassembly] = {}
@@ -449,6 +650,15 @@ class SegmentRouter:
         if missing:
             raise ValueError(f"unattached segments {sorted(missing)}")
         self._started = True
+        if self.res.bulkhead:
+            # Each egress queue gets one compartment per possible
+            # ingress (every *other* port), sharing the egress capacity.
+            cap = max(
+                1,
+                self.config.egress_capacity // max(1, len(self.ports) - 1),
+            )
+            for port in self.ports.values():
+                port.queue = CompartmentedQueue(cap)
         for port in self.ports.values():
             gw = port.gateway
             gw.mac.capture = self._make_capture(port)
@@ -492,17 +702,31 @@ class SegmentRouter:
         self.failed = True
         queued = sum(p.backlog for p in self.ports.values())
         self.counters.incr("crash_lost_queued", queued)
+        fragments = sum(len(p._deferred) for p in self.ports.values())
+        if fragments:
+            self.counters.incr("crash_lost_fragments", fragments)
         for port in self.ports.values():
             port.queue.clear()
             port.parked.clear()
+            port._deferred.clear()
         self.shadow.clear()
+        lost_letters = self.dead_letter.clear()
+        if lost_letters:
+            self.counters.incr("crash_lost_dead_letters", lost_letters)
         self.tracer.record(
             self.sim.now, "routing", self.name,
             event="router_crash", queued_lost=queued,
         )
 
     def recover(self) -> None:
-        """Power back on with cold state; ads rebuild roles and routes."""
+        """Power back on with cold state; ads rebuild roles and routes.
+
+        Port-side pump state resets too: a ``_pump_timer`` that fired
+        into the ``failed`` early return left no timer armed, and an
+        insertion controller that died window-full would otherwise count
+        its crashed-era sends as outstanding forever — either way the
+        recovered port must pump on the next enqueue, not stall.
+        """
         if not self.failed:
             return
         self.failed = False
@@ -510,6 +734,7 @@ class SegmentRouter:
         self.remote_live.clear()
         for port in self.ports.values():
             port.peers.clear()
+            port.reset()
         self.root, self.root_cost, self.root_port = self.bid, 0, None
         self._recompute_roles()
         if not self._ticking:
@@ -519,6 +744,35 @@ class SegmentRouter:
         self.tracer.record(
             self.sim.now, "routing", self.name, event="router_recover",
         )
+
+    # ---------------------------------------------------------- dead-letter
+    def dead_letter_crossing(
+        self,
+        crossing: Optional[_Crossing],
+        reason: str,
+        segment: int,
+        redrivable: bool = False,
+    ) -> None:
+        """Consume one crossing (or a count-only record) into the
+        dead-letter channel, with the trace record the channel itself
+        stays agnostic of."""
+        now = self.sim.now
+        evicted = self.dead_letter.consume(
+            crossing, reason, segment=segment, redrivable=redrivable, now=now,
+        )
+        self.tracer.record(
+            now, "routing", self.name,
+            event="dead_letter", reason=reason, segment=segment,
+            dst=crossing.dst if crossing is not None else None,
+        )
+        if evicted is not None and evicted.redrivable:
+            # A redrivable entry pushed out by the bound is a real loss;
+            # the overflow counter ticked in the channel, the trace
+            # record lands here.
+            self.tracer.record(
+                now, "routing", self.name,
+                event="dead_letter_overflow", reason=evicted.reason,
+            )
 
     # ----------------------------------------------------------- liveness
     def live_in_segment(self, segment_id: int) -> Set[int]:
@@ -563,6 +817,18 @@ class SegmentRouter:
         dma = pkt.dma
         if dma is None or dma.src_segment is None:  # pragma: no cover
             return  # not a routed fragment; nothing to ferry
+        if not port.admit_fragment(pkt):
+            return  # deferred behind the token bucket (or shed)
+        self.ingest_now(port, segment_id, pkt)
+
+    def ingest_now(
+        self, port: RouterPort, segment_id: int, pkt: MicroPacket
+    ) -> None:
+        """Capture processing past the throttle gate (the deferred-
+        fragment drain re-enters here)."""
+        if self.failed:
+            return
+        dma = pkt.dma
         self.counters.incr("fragments_captured")
         # Keyed by the origin's global address + its transfer id: stable
         # across re-originations, so a crossing revisiting this router
@@ -631,7 +897,8 @@ class SegmentRouter:
                 event="unroutable", dst=dst, ingress=ingress,
             )
             return
-        crossing = _Crossing(origin, dst, payload, channel, tid)
+        crossing = _Crossing(origin, dst, payload, channel, tid,
+                             ingress=ingress)
         ingress_port = self.ports[ingress]
         egress_port = self.ports[egress]
         if (
@@ -685,8 +952,21 @@ class SegmentRouter:
     # ----------------------------------------------------- shadow parking
     def _shadow_park(self, ingress: int, crossing: _Crossing) -> None:
         if len(self.shadow) >= self.shadow_capacity:
-            self.shadow.popleft()
+            evicted = self.shadow.popleft()
             self.counters.incr("shadow_evicted")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="shadow_evicted", dst=evicted.crossing.dst,
+                ingress=evicted.ingress,
+            )
+            if self.res.dead_letter:
+                # Accounting record only: the shadow is a failover safety
+                # copy, not the authoritative crossing — nothing to
+                # redrive, but its disappearance must be countable.
+                self.dead_letter.consume(
+                    None, "shadow_evicted", segment=evicted.ingress,
+                    now=self.sim.now,
+                )
         self.shadow.append(_Shadow(ingress, crossing, self.sim.now))
         self.counters.incr("shadow_parked")
 
@@ -726,8 +1006,22 @@ class SegmentRouter:
         if not self.shadow:
             return
         ttl = self.config.shadow_ttl_periods * self.advertise_period_ns
-        kept = deque(e for e in self.shadow if now - e.parked_at <= ttl)
-        expired = len(self.shadow) - len(kept)
+        kept: Deque[_Shadow] = deque()
+        expired = 0
+        for entry in self.shadow:
+            if now - entry.parked_at <= ttl:
+                kept.append(entry)
+                continue
+            expired += 1
+            self.tracer.record(
+                now, "routing", self.name,
+                event="shadow_expired", dst=entry.crossing.dst,
+                ingress=entry.ingress,
+            )
+            if self.res.dead_letter:
+                self.dead_letter.consume(
+                    None, "shadow_expired", segment=entry.ingress, now=now,
+                )
         if expired:
             self.counters.incr("shadow_expired", expired)
             self.shadow = kept

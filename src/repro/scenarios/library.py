@@ -459,6 +459,194 @@ def two_path_256() -> ScenarioSpec:
     )
 
 
+def chaos_router_storm() -> ScenarioSpec:
+    # Correlated router churn on a redundant pair: R0 (the designated
+    # forwarder) crashes and recovers, then R1 does the same.  The
+    # storyline is staged so at least one router is always alive — a
+    # crossing is confirmed at its origin ring the moment the tour
+    # completes (tour-as-ack), so a window with zero live routers would
+    # make confirmed-and-lost unavoidable.  Dead-letter channels are on
+    # so every shadow expiry/eviction lands in accounting, and the
+    # recover legs exercise the post-crash pump re-arm (a recovered
+    # router with a wedged egress pump would strand its backlog).
+    return ScenarioSpec(
+        name="chaos_router_storm",
+        description="Correlated crash/recover churn across a redundant "
+                    "router pair under crossing load: failover, "
+                    "fail-back, shadow promotion and post-recovery pump "
+                    "drain, with dead-letter accounting on and every "
+                    "message delivered exactly once.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8)),
+            routers=(
+                RouterSpec(segments=(0, 1), priority=16,
+                           resilience={"dead_letter": True}),
+                RouterSpec(segments=(0, 1), priority=240,
+                           resilience={"dead_letter": True}),
+            ),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=40, src=(0, 1), dst=(1, 5),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 150_000}),
+            WorkloadSpec("poisson", count=30, src=(1, 6), dst=(0, 4),
+                         channel=13, reliable=True,
+                         params={"mean_interval_ns": 150_000}),
+            WorkloadSpec("message", count=16, src=(0, 2), dst=(0, 6),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 180_000}),
+        ),
+        faults=(
+            FaultSpec("crash_router", at_tours=120, router=0),
+            FaultSpec("recover_router", at_tours=420, router=0),
+            FaultSpec("crash_router", at_tours=600, router=1),
+            FaultSpec("recover_router", at_tours=800, router=1),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=1000,
+    )
+
+
+def flapping_spine() -> ScenarioSpec:
+    # The single router's gateway link on segment 0 (gateway id 8 after
+    # the 8 user nodes) flaps three times.  Each cut re-rosters the ring
+    # without the gateway — crossings park; each restore re-admits it.
+    # Ingress throttling is on: the post-restore capture surge is paced
+    # through the token bucket's deferral queue instead of slamming the
+    # reassembly path all at once.
+    return ScenarioSpec(
+        name="flapping_spine",
+        description="A flapping gateway link on the spine router: three "
+                    "cut/restore cycles under crossing load, with "
+                    "token-bucket ingress throttling pacing the "
+                    "post-restore capture surges; full exactly-once "
+                    "delivery.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8)),
+            routers=(
+                RouterSpec(segments=(0, 1),
+                           resilience={"throttle": True,
+                                       "throttle_token_ns": 40_000,
+                                       "throttle_burst": 2}),
+            ),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=36, src=(0, 1), dst=(1, 5),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 60_000}),
+            WorkloadSpec("poisson", count=24, src=(1, 2), dst=(0, 4),
+                         channel=13, reliable=True,
+                         params={"mean_interval_ns": 80_000}),
+        ),
+        faults=(
+            FaultSpec("cut_link", at_tours=80, segment=0, node=8, switch=0),
+            FaultSpec("restore_link", at_tours=140, segment=0, node=8,
+                      switch=0),
+            FaultSpec("cut_link", at_tours=200, segment=0, node=8, switch=0),
+            FaultSpec("restore_link", at_tours=260, segment=0, node=8,
+                      switch=0),
+            FaultSpec("cut_link", at_tours=320, segment=0, node=8, switch=0),
+            FaultSpec("restore_link", at_tours=380, segment=0, node=8,
+                      switch=0),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=900,
+    )
+
+
+def breaker_asymmetric_partition() -> ScenarioSpec:
+    # Segment 1 splits with the gateway (id 8) on side B: crossings for
+    # side-A destinations park and re-park at the router until the
+    # per-destination breaker trips, after which they fail fast into
+    # the redrivable dead-letter channel instead of burning pump slots.
+    # The heal re-rosters the full ring; the breaker's half-open probe
+    # redrives one dead-letter, it delivers, the circuit closes, and
+    # the rest of the backlog follows.
+    side_a = (0, 1, 2, 3)
+    switches_a = (0,)
+    return ScenarioSpec(
+        name="breaker_asymmetric_partition",
+        description="An asymmetric partition strands one side of a "
+                    "segment: the per-destination circuit breaker trips "
+                    "over the parked crossings, fails fast into the "
+                    "redrivable dead-letter channel, and the half-open "
+                    "probe after the heal redrives everything — full "
+                    "delivery, zero confirmed-and-lost.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8)),
+            routers=(
+                RouterSpec(segments=(0, 1),
+                           resilience={"circuit_breaker": True,
+                                       "breaker_threshold": 3,
+                                       "dead_letter": True}),
+            ),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=30, src=(0, 1), dst=(1, 2),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 40_000}),
+            WorkloadSpec("poisson", count=30, src=(0, 2), dst=(1, 6),
+                         channel=13, reliable=True,
+                         params={"mean_interval_ns": 40_000}),
+        ),
+        faults=(
+            FaultSpec("partition", at_tours=80, segment=1, nodes=side_a,
+                      switches=switches_a),
+            FaultSpec("heal_partition", at_tours=500, segment=1,
+                      nodes=side_a, switches=switches_a),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=1200,
+    )
+
+
+def bulkhead_noisy_neighbor() -> ScenarioSpec:
+    # Three segments on one router with a deliberately small egress
+    # queue: segment 1 floods segment 0 with bursts while segment 2
+    # sends polite messages to the same egress port.  With the bulkhead
+    # on, the egress queue splits into per-ingress compartments drained
+    # round-robin, so the victim's crossings never queue behind the
+    # flood.  Loads are sized so neither compartment overflows —
+    # a bulkhead reject is a real drop, and all_delivered would fail.
+    return ScenarioSpec(
+        name="bulkhead_noisy_neighbor",
+        description="A noisy-neighbour burst stream and a polite victim "
+                    "stream converge on one egress port of a three-way "
+                    "router: bulkhead compartments isolate the victim "
+                    "from the flood and round-robin drain keeps its "
+                    "latency flat; everything still delivers.",
+        topology=TopologySpec(
+            segments=(SegmentSpec(n_nodes=8), SegmentSpec(n_nodes=8),
+                      SegmentSpec(n_nodes=8)),
+            routers=(
+                RouterSpec(segments=(0, 1, 2), egress_capacity=32,
+                           egress_window=2,
+                           resilience={"bulkhead": True}),
+            ),
+        ),
+        seed=7,
+        workloads=(
+            WorkloadSpec("burst", count=50, src=(1, 1), dst=(0, 3),
+                         channel=12, reliable=True,
+                         params={"burst_mean": 5, "intra_gap_ns": 2_000,
+                                 "off_mean_ns": 300_000}),
+            WorkloadSpec("message", count=24, src=(2, 1), dst=(0, 5),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 60_000}),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=400,
+        grace_tours=2000,
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -477,6 +665,10 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         routed_partition_heal,
         redundant_router_failover,
         two_path_256,
+        chaos_router_storm,
+        flapping_spine,
+        breaker_asymmetric_partition,
+        bulkhead_noisy_neighbor,
     )
 }
 

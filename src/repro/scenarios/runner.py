@@ -343,6 +343,23 @@ class ScenarioRunner:
                 offered += stats.offered
                 delivered += stats.delivered
 
+        counters = {
+            "offered": offered,
+            "delivered": delivered,
+            "ring_drops": ring_drop_count(cluster),
+            "trace_records": len(cluster.tracer.records),
+            "faults_fired": sum(
+                1 for r in cluster.tracer.records if r.category == "fault"
+            ),
+        }
+        if hasattr(cluster, "router_counter_totals"):
+            # Routed clusters: fold the routers' own accounting (parked,
+            # dead-lettered, breaker transitions, ...) into the result so
+            # replay tests and benches can assert on it.
+            counters.update(
+                (f"router_{k}", v)
+                for k, v in cluster.router_counter_totals().items()
+            )
         result = ScenarioResult(
             name=spec.name,
             seed=self.seed,
@@ -350,15 +367,7 @@ class ScenarioRunner:
             ring_up_ns=self.ring_up_ns,
             end_ns=cluster.sim.now,
             streams=streams,
-            counters={
-                "offered": offered,
-                "delivered": delivered,
-                "ring_drops": ring_drop_count(cluster),
-                "trace_records": len(cluster.tracer.records),
-                "faults_fired": sum(
-                    1 for r in cluster.tracer.records if r.category == "fault"
-                ),
-            },
+            counters=counters,
             convergence=self._convergence_summary(),
             trace_digest=trace_digest(cluster.tracer),
         )
@@ -433,12 +442,35 @@ class ScenarioRunner:
             "" if ok else "gossip views disagree with ground truth",
         )
 
+    def _check_no_duplicates(self) -> InvariantResult:
+        """Exactly-once: no workload delivers more than it offered.
+
+        The chaos storylines exist to provoke duplicate paths — failover
+        promotion, dead-letter redrive, throttle deferral — so this
+        check is the dedup machinery's end-to-end witness.
+        """
+        dupes = []
+        for workload in self.workloads:
+            got, expected = self._expected_deliveries(workload)
+            if got > expected:
+                label = (
+                    workload.stats.name
+                    if hasattr(workload, "stats") and not isinstance(workload, AllToAllBroadcast)
+                    else type(workload).__name__
+                )
+                dupes.append(f"{label}: {got}/{expected}")
+        return InvariantResult(
+            "no_duplicate_deliveries", not dupes,
+            "" if not dupes else "; ".join(dupes),
+        )
+
 
 _INVARIANTS: Dict[str, Callable[[ScenarioRunner], InvariantResult]] = {
     "no_drops": ScenarioRunner._check_no_drops,
     "all_delivered": ScenarioRunner._check_all_delivered,
     "roster_converged": ScenarioRunner._check_roster_converged,
     "membership_view_consistent": ScenarioRunner._check_membership_view,
+    "no_duplicate_deliveries": ScenarioRunner._check_no_duplicates,
 }
 
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..cluster import AmpNetCluster, ClusterConfig
 from ..faults import FaultSchedule
+from ..resilience import ResilienceConfig
 
 __all__ = [
     "SegmentSpec",
@@ -64,11 +65,21 @@ class RouterSpec:
     egress_capacity: int = 64
     egress_window: int = 4
     priority: int = 128
+    #: resilience-pattern toggles for this router (see
+    #: :class:`repro.resilience.ResilienceConfig`); ``None`` keeps every
+    #: pattern off — the exact pre-resilience wire behaviour.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", tuple(self.segments))
         if not 0 <= self.priority <= 255:
             raise ValueError("router priority must fit one byte (0..255)")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            object.__setattr__(
+                self, "resilience", ResilienceConfig(**dict(self.resilience))
+            )
 
 
 @dataclass(frozen=True)
@@ -294,6 +305,7 @@ INVARIANT_NAMES = (
     "all_delivered",
     "roster_converged",
     "membership_view_consistent",
+    "no_duplicate_deliveries",
 )
 
 
@@ -486,6 +498,7 @@ class ScenarioSpec:
                         egress_capacity=r.egress_capacity,
                         egress_window=r.egress_window,
                         priority=r.priority,
+                        resilience=r.resilience,
                     )
                     for r in self.topology.routers
                 ],

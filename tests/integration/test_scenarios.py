@@ -41,6 +41,10 @@ ALL_NAMES = (
     "routed_partition_heal",
     "redundant_router_failover",
     "two_path_256",
+    "chaos_router_storm",
+    "flapping_spine",
+    "breaker_asymmetric_partition",
+    "bulkhead_noisy_neighbor",
 )
 
 #: Production-scale entries too expensive for the run+replay double

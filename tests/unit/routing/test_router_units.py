@@ -9,13 +9,14 @@ simulation (that lives in ``tests/integration/test_routing.py``).
 import pytest
 
 from repro.cluster import ClusterConfig
+from repro.resilience import ResilienceConfig
 from repro.routing import (
     PortRole,
     RoutedClusterConfig,
     RouterConfig,
     SegmentRouter,
 )
-from repro.routing.router import _PeerRouter, _Route
+from repro.routing.router import RouterPort, _PeerRouter, _Route
 
 
 class _FakeSim:
@@ -410,3 +411,135 @@ def test_learned_routes_via_blocked_ports_are_not_advertised():
     payload = router._encode_ad(router.ports[0])
     *_, entries = SegmentRouter._decode_ad(payload)
     assert all(seg != 7 for seg, _m, _l in entries)
+
+
+# --------------------------------------------------- resilience config
+def test_resilience_mapping_coerced_to_config():
+    cfg = RouterConfig(segments=(0, 1),
+                       resilience={"circuit_breaker": True,
+                                   "breaker_threshold": 5})
+    assert isinstance(cfg.resilience, ResilienceConfig)
+    assert cfg.resilience.circuit_breaker
+    assert cfg.resilience.breaker_threshold == 5
+    # Omitted: the router's policy defaults to everything off.
+    router = SegmentRouter(0, RouterConfig(segments=(0, 1)))
+    assert not router.res.any_enabled
+
+
+# ---------------------------------------------- park/re-park accounting
+class _TimerSim:
+    """A fake sim that accepts (and drops) timer arms."""
+
+    def __init__(self):
+        self.now = 0
+
+    def call_in(self, delay, fn, *args):
+        return None
+
+
+class _BareGateway:
+    """Gateway whose segment has no roster: every local destination is
+    undeliverable, so crossings park."""
+
+    membership = None
+    roster = None
+
+
+def _parked_port():
+    from repro.routing.router import _Crossing
+
+    router = bare_router()
+    router.sim = _TimerSim()
+    cluster = _FakeCluster()
+    cluster.sim = router.sim
+    port = RouterPort(router, 0, cluster, _BareGateway())
+    return router, port, _Crossing((1, 1), (0, 2), b"x", 13, 5)
+
+
+def test_first_park_counts_once():
+    """Regression: ``egress_parked`` counts *crossings*, not retry
+    cycles.  Re-offering a parked crossing to a still-dead destination
+    must tick ``egress_reparked`` instead of inflating the park count."""
+    router, port, crossing = _parked_port()
+    assert port.enqueue(crossing)
+    assert router.counters["egress_parked"] == 1
+    assert router.counters["egress_reparked"] == 0
+    assert port.parked_count == 1
+    # Two retry polls against the same dead destination.
+    for repark in (1, 2):
+        port.requeue_parked()
+        port.pump()
+        assert router.counters["egress_parked"] == 1
+        assert router.counters["egress_reparked"] == repark
+        assert port.parked_count == 1
+
+
+def test_parked_crossings_still_count_against_capacity():
+    from repro.routing.router import _Crossing
+
+    router, port, _ = _parked_port()
+    cap = router.config.egress_capacity
+    for i in range(cap):
+        assert port.enqueue(_Crossing((1, 1), (0, 2), b"x", 13, i))
+    assert not port.enqueue(_Crossing((1, 1), (0, 2), b"x", 13, cap))
+    assert router.counters["egress_parked"] == cap
+
+
+# ------------------------------------------- shadow-loss accountability
+def _shadow_router(**res):
+    router = SegmentRouter(
+        0, RouterConfig(segments=(0, 1), shadow_capacity=2,
+                        resilience=res or None),
+    )
+    router.sim = _FakeSim()
+    router.tracer = _FakeTracer()
+    router.ports = {seg: _FakePort(seg) for seg in (0, 1)}
+    return router
+
+
+def test_shadow_eviction_is_counted_and_dead_lettered():
+    """Regression: a capacity eviction used to vanish without a trace.
+    Now it ticks ``shadow_evicted`` and (with the dead-letter channel
+    on) lands as an accounting record."""
+    from repro.routing.router import _Crossing
+
+    router = _shadow_router(dead_letter=True)
+    for i in range(3):  # capacity 2: the third park evicts the oldest
+        router._shadow_park(0, _Crossing((0, 1), (1, 2), b"x", 13, i))
+    assert router.counters["shadow_parked"] == 3
+    assert router.counters["shadow_evicted"] == 1
+    assert len(router.shadow) == 2
+    assert router.counters["dead_letter_shadow_evicted"] == 1
+    # Every parked shadow is accounted for: still resident or evicted.
+    assert router.counters["shadow_parked"] == (
+        len(router.shadow) + router.counters["shadow_evicted"]
+    )
+
+
+def test_shadow_expiry_is_counted_and_dead_lettered():
+    from repro.routing.router import _Crossing
+
+    router = _shadow_router(dead_letter=True)
+    router._shadow_park(0, _Crossing((0, 1), (1, 2), b"x", 13, 0))
+    ttl = router.config.shadow_ttl_periods * router.advertise_period_ns
+    router._expire_shadow(ttl)  # within TTL: kept
+    assert len(router.shadow) == 1
+    router._expire_shadow(ttl + 1)
+    assert len(router.shadow) == 0
+    assert router.counters["shadow_expired"] == 1
+    assert router.counters["dead_letter_shadow_expired"] == 1
+
+
+def test_shadow_loss_counters_do_not_need_the_dead_letter_channel():
+    """The loss *counters* are unconditional — only the dead-letter
+    record is gated on the pattern toggle."""
+    from repro.routing.router import _Crossing
+
+    router = _shadow_router()  # every pattern off
+    for i in range(3):
+        router._shadow_park(0, _Crossing((0, 1), (1, 2), b"x", 13, i))
+    router._expire_shadow(10**12)
+    assert router.counters["shadow_evicted"] == 1
+    assert router.counters["shadow_expired"] == 2
+    assert router.counters["dead_lettered"] == 0
+    assert len(router.dead_letter) == 0
