@@ -7,14 +7,19 @@ pays retransmissions to recover).
 
 The AmpNet side is described declaratively — one broadcast-storm
 ``ScenarioSpec`` per size — and the run is judged by the scenario
-engine's own invariants (no drops, all delivered).  Sizes can be
+engine's own invariants (no drops, all delivered).  The size grid runs
+through :mod:`repro.sweep`'s ``run_grid`` (a ``SweepGrid`` built from
+the exact specs below rather than ``grid_from_names``: the committed
+emission pins the ``f3_storm_{n}`` spec metadata byte for byte, and
+library-name expansion would rename the cells).  Sizes can be
 overridden for smoke runs: ``F3_SIZES=4 pytest benchmarks/bench_f3...``.
 """
 
 from repro.analysis import render_table
 from repro.baselines import EthConfig, EthernetFabric
-from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec, run_scenario
+from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.sim import Simulator
+from repro.sweep import SweepGrid, run_grid, workers_from_env
 
 import harness
 
@@ -52,24 +57,34 @@ def run_baseline(n_nodes: int):
     return fabric
 
 
+def storm_grid() -> SweepGrid:
+    # seeds=(0,) pins the specs' own default seed: cells are the exact
+    # scenarios the emission has always recorded.
+    return SweepGrid(
+        specs=tuple(storm_spec(n) for n in sizes_under_test()), seeds=(0,)
+    )
+
+
 def run_experiment():
+    sizes = sizes_under_test()
+    records = run_grid(storm_grid(), workers=workers_from_env())
     rows = []
-    specs = []
-    for n in sizes_under_test():
-        spec = storm_spec(n)
-        specs.append(spec)
-        result = run_scenario(spec)
+    specs = [storm_spec(n) for n in sizes]
+    # run_grid returns grid order == sizes order at any worker count.
+    for n, record in zip(sizes, records):
+        assert "error" not in record, record.get("error")
+        result = record["result"]
         fabric = run_baseline(n)
         expected = CELLS_PER_NODE * n * (n - 1)
         rows.append(
             (
                 n,
                 expected,
-                result.counters["delivered"],
-                result.counters["ring_drops"],
+                result["counters"]["delivered"],
+                result["counters"]["ring_drops"],
                 fabric.counters["offered"],
                 fabric.counters["drops"],
-                result.ok,
+                result["ok"],
             )
         )
     return rows, specs

@@ -10,7 +10,12 @@ numbers the performance work is steered by:
   of simulated time costs (the "as fast as the hardware allows" metric);
 * **per-layer event counts** — how the schedule entries split across the
   stack (phys.link arrivals, ring.mac picks, switch forwards, ...),
-  derived from each entry's callback target.
+  derived from each entry's callback target;
+* **scheduler occupancy** — how the timer wheel is being used at the
+  close of the window (entries resident in the wheel vs the overflow
+  heap, the entries-per-occupied-slot histogram, how many posts spilled
+  past the wheel horizon during the window, and how many MAC pacing
+  fires the per-simulation pacer hub coalesced).
 
 Attaching a probe never changes simulation behaviour: the kernel's
 ``on_event`` observer is read-only accounting, so a run with the probe
@@ -62,6 +67,7 @@ class PerfReport:
     sim_ns: int
     wall_s: float
     by_layer: Dict[str, int] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -91,6 +97,8 @@ class PerfReport:
             out["by_layer"] = dict(
                 sorted(self.by_layer.items(), key=lambda kv: -kv[1])
             )
+        if self.scheduler:
+            out["scheduler"] = dict(self.scheduler)
         return out
 
 
@@ -109,6 +117,8 @@ class PerfProbe:
         self._by_layer: Dict[str, int] = {}
         self._start_events = 0
         self._start_sim_ns = 0
+        self._start_spills = 0
+        self._start_pacer = (0, 0)
         self._start_wall = 0.0
         self._running = False
         #: the exact bound method installed as the kernel observer (bound
@@ -132,6 +142,12 @@ class PerfProbe:
         self._by_layer.clear()
         self._start_events = self.sim.events_processed
         self._start_sim_ns = self.sim.now
+        self._start_spills = self.sim.scheduler_stats()["overflow_spills"]
+        pacer = getattr(self.sim, "_mac_pacer", None)
+        if pacer is not None:
+            self._start_pacer = (pacer.fires, pacer.coalesced)
+        else:
+            self._start_pacer = (0, 0)
         self._start_wall = time.perf_counter()
         self._running = True
 
@@ -144,6 +160,7 @@ class PerfProbe:
             sim_ns=self.sim.now - self._start_sim_ns,
             wall_s=time.perf_counter() - self._start_wall,
             by_layer=dict(self._by_layer),
+            scheduler=self._scheduler_snapshot(),
         )
 
     def stop(self) -> PerfReport:
@@ -156,6 +173,38 @@ class PerfProbe:
         return report
 
     # ----------------------------------------------------------- internal
+    def _scheduler_snapshot(self) -> Dict[str, Any]:
+        """Occupancy of the timer-wheel scheduler at this instant.
+
+        Resident-entry counts and the slot histogram describe the queue
+        *now*; ``overflow_spills`` and the pacer counters are deltas over
+        the measurement window.  Reading these touches only counters and
+        the occupancy bitmap — the schedule itself is never mutated, so
+        probed runs stay digest-identical to unprobed ones.
+        """
+        sim = self.sim
+        stats = sim.scheduler_stats()
+        histogram = sim.wheel_histogram()
+        pacer = getattr(sim, "_mac_pacer", None)
+        fires, coalesced = (
+            (pacer.fires, pacer.coalesced) if pacer is not None else (0, 0)
+        )
+        return {
+            "wheel_slots": stats["wheel_slots"],
+            "wheel_slots_occupied": sum(histogram.values()),
+            "wheel_entries": stats["wheel_entries"],
+            "overflow_entries": stats["overflow_entries"],
+            "overflow_spills": stats["overflow_spills"] - self._start_spills,
+            "cancelled_pending": stats["cancelled_pending"],
+            "cancelled_reclaimed": stats["cancelled_reclaimed"],
+            # entries-per-occupied-slot -> slot count, densest first
+            "wheel_slot_histogram": {
+                str(k): v for k, v in sorted(histogram.items())
+            },
+            "mac_pacer_fires": fires - self._start_pacer[0],
+            "mac_pacer_coalesced": coalesced - self._start_pacer[1],
+        }
+
     def _observe(self, entry: Any) -> None:
         layer = layer_of(entry)
         counts = self._by_layer

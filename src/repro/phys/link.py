@@ -8,24 +8,23 @@ is the unit of fault injection — cutting a fibre kills both directions,
 loses whatever was in flight, and drops carrier at both ends after the
 hardware debounce time.
 
-The transmitter is an event-driven chain rather than a resumed process:
-each frame costs one dequeue hop, one serialization-end entry and one
-arrival entry — all slim kernel callbacks, no store round-trip and no
-generator machinery.  The chain deliberately mirrors the event-step
-structure of the process it replaced (dequeue one step after enqueue,
-the next frame's dequeue issued at the previous serialization end), so
-same-instant arrivals across links interleave in exactly the order they
-always did — the golden-trace digests pin this.  Loss semantics are
-unchanged: a frame is checked against ``up`` when its serialization
-starts and ends, and an in-flight arrival whose captured epoch is stale
-(every cut bumps the epoch) is light that died mid-flight.
+The transmitter costs **one schedule entry per frame**: at transmit time
+the wire is reserved arithmetically (``start = max(now, busy_until)``,
+``busy_until = start + ser_ns``) and a single arrival entry is posted at
+``start + ser_ns + prop_ns``.  Timestamps are identical to the old
+dequeue→serialize→deliver callback chain — the arithmetic is the same
+next-free-time model — but the two intermediate hops per frame are gone,
+which at storm scale removes the largest single slice of kernel load.
+Loss semantics: a frame transmitted while the link is down is lost
+immediately, and every cut bumps the epoch so reserved/in-flight
+arrivals from before the cut die at fire time (light that went dark
+mid-flight, including queued wire reservations not yet serialized — the
+transmitter commits frames to the wire schedule at transmit time).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from heapq import heappush
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 from ..sim import Callback, Simulator
 from .constants import CARRIER_DETECT_NS, propagation_ns
@@ -58,67 +57,33 @@ class SerialLink:
         #: epoch increments on every cut; in-flight deliveries from an
         #: older epoch are discarded (the light went dark mid-flight).
         self._epoch = 0
-        self._queue: Deque[Frame] = deque()
-        #: True while the dequeue→serialize chain is running.
-        self._engaged = False
-        #: reusable dequeue entry — stateless, so the same instance can
-        #: sit on the schedule heap any number of times.
-        self._dequeue_cb = Callback(self._dequeue, ())
+        #: instant the transmitter frees up; wire reservations are
+        #: arithmetic, so backlog needs no queue and no chain callbacks.
+        self._busy_until = 0
         self.frames_delivered = 0
         self.frames_lost = 0
 
-    # The three schedule pushes below are hand-inlined (heappush on the
-    # kernel's queue instead of sim.call_in): every frame on every fibre
-    # passes through here, and at 256-node scale the call_in frames alone
-    # were a measurable slice of the run.
-
     def transmit(self, frame: Frame) -> None:
-        """Queue a frame; serialization is strictly in order at line rate."""
-        self._queue.append(frame)
-        if not self._engaged:
-            self._engaged = True
-            # Dequeue fires one event-step later, like the store get the
-            # old transmitter process woke up on.
-            sim = self.sim
-            heappush(sim._queue, (sim._now, sim._seq, self._dequeue_cb))
-            sim._seq += 1
+        """Reserve the wire and post the frame's single arrival entry.
 
-    def _dequeue(self) -> None:
-        frame = self._queue.popleft()
+        Serialization is strictly in order at line rate: each frame's
+        serialization starts when the transmitter frees up.  Posting goes
+        straight to the kernel's ``_post`` primitive (instead of
+        ``sim.call_in``): every frame on every fibre passes through here,
+        and at 256-node scale the call_in frames alone were a measurable
+        slice of the run.
+        """
         if not self.up:
+            # Dark fibre during the carrier debounce window: the frame is
+            # lost at the transmitter, costing no schedule entry at all.
             self.frames_lost += 1
-            self._chain()
             return
         sim = self.sim
-        heappush(
-            sim._queue,
-            (sim._now + frame.ser_ns, sim._seq, Callback(self._serialized, (frame,))),
-        )
-        sim._seq += 1
-
-    def _serialized(self, frame: Frame) -> None:
-        if not self.up:
-            self.frames_lost += 1
-        else:
-            sim = self.sim
-            heappush(
-                sim._queue,
-                (
-                    sim._now + self.prop_ns,
-                    sim._seq,
-                    Callback(self._arrive, (frame, self._epoch)),
-                ),
-            )
-            sim._seq += 1
-        self._chain()
-
-    def _chain(self) -> None:
-        if self._queue:
-            sim = self.sim
-            heappush(sim._queue, (sim._now, sim._seq, self._dequeue_cb))
-            sim._seq += 1
-        else:
-            self._engaged = False
+        now = sim._now
+        busy = self._busy_until
+        start = busy if busy > now else now
+        self._busy_until = end = start + frame.ser_ns
+        sim._post(end + self.prop_ns, Callback(self._arrive, (frame, self._epoch)))
 
     def _arrive(self, frame: Frame, epoch: int) -> None:
         if not self.up or epoch != self._epoch:
@@ -133,6 +98,8 @@ class SerialLink:
             return
         self.up = False
         self._epoch += 1
+        # All wire reservations die with the light.
+        self._busy_until = 0
         # Receiver sees loss of light after the debounce time.
         self.sim.call_in(CARRIER_DETECT_NS, self._sync_carrier, False)
 

@@ -15,7 +15,6 @@ explore the entire surviving topology in one tour.
 from __future__ import annotations
 
 from collections import OrderedDict
-from heapq import heappush
 from typing import Dict, List, Optional
 
 from ..micropacket import MicroPacketType
@@ -124,14 +123,10 @@ class Switch:
             )
             return
         out = self.ports[egress]
-        # Hand-inlined schedule push: one per forwarded frame (see the
-        # link layer for rationale).
+        # Direct kernel post: one slim entry per forwarded frame (see the
+        # _post contract in sim/kernel.py).
         sim = self.sim
-        heappush(
-            sim._queue,
-            (sim._now + self.latency_ns, sim._seq, Callback(out.send, (frame,))),
-        )
-        sim._seq += 1
+        sim._post(sim._now + self.latency_ns, Callback(out.send, (frame,)))
         self.counters.incr("forwarded")
 
     def _flood(self, frame: Frame, port: Port) -> None:

@@ -23,7 +23,6 @@ an all-to-all broadcast storm.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Callable, Deque, Dict, List, Optional
 
 from ..micropacket import BROADCAST, Flags, MicroPacket
@@ -41,6 +40,53 @@ FrameFn = Callable[[Frame], None]
 
 #: Plain-int mirror of Flags.PRIORITY for the per-hop flag test.
 _PRIORITY = int(Flags.PRIORITY)
+
+
+class _PacerHub:
+    """Per-simulator coalescer for MAC pacing wakeups.
+
+    Every MAC on the same simulator arms its pacing naps here.  All
+    wakeups that land on the same tick — one MAC re-arming the same gap
+    end on repeated kicks, or many MACs whose insertion gaps expire
+    together — share a single schedule entry; the hub fans the fire out
+    to the armed MACs in arm order (deterministic, so traces stay
+    seed-stable).  Stale arms are gen-guarded by the MACs themselves and
+    cost nothing but a tuple in the tick's list.
+    """
+
+    __slots__ = ("sim", "pending", "fires", "coalesced")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        #: tick -> [(mac, pace_gen), ...] awaiting that instant
+        self.pending: Dict[int, List] = {}
+        #: tick entries actually scheduled
+        self.fires = 0
+        #: arms that rode an already-scheduled tick entry
+        self.coalesced = 0
+
+    def arm(self, mac: "RingMAC", tick: int, gen: int) -> None:
+        waiters = self.pending.get(tick)
+        if waiters is None:
+            self.pending[tick] = [(mac, gen)]
+            sim = self.sim
+            sim._post(tick, Callback(self._fire, (tick,)))
+            self.fires += 1
+        else:
+            waiters.append((mac, gen))
+            self.coalesced += 1
+
+    def _fire(self, tick: int) -> None:
+        for mac, gen in self.pending.pop(tick):
+            mac._pace_fire(gen)
+
+
+def _pacer_for(sim: Simulator) -> _PacerHub:
+    """The sim's shared pacing hub (created on first MAC)."""
+    hub = getattr(sim, "_mac_pacer", None)
+    if hub is None:
+        hub = sim._mac_pacer = _PacerHub(sim)  # type: ignore[attr-defined]
+    return hub
 
 
 class RingMAC:
@@ -87,8 +133,10 @@ class RingMAC:
         self._ring_open = False
         self._ring_size = 0
         self._tx_port: Optional[Port] = None
-        #: reusable pick entry (stateless; may recur on the heap)
+        #: reusable pick entry (stateless; may recur on the schedule)
         self._tx_step_cb = Callback(self._tx_step, ())
+        #: shared per-sim pacing coalescer (see :class:`_PacerHub`)
+        self._pacer = _pacer_for(sim)
 
         #: Segment id of the ring this MAC sits on (multi-segment
         #: clusters only; None = classic single-segment operation).  A
@@ -181,20 +229,21 @@ class RingMAC:
     # resumed generator: a frame hop costs exactly two slim schedule
     # entries (insertion-register latency, then the serialization hold) —
     # no generator frames, no wakeup Event allocations, no AnyOf per
-    # pacing nap.  Timing is identical to the old process loop: a kick
-    # wakes the engine one event-step later (so same-instant arrivals
-    # still compete for priority before the pick), the pick after a
-    # serialization hold happens inside the hold's own event, and pacing
-    # timers wake through the same extra hop the AnyOf used to add.
+    # pacing nap.  Timing matches the old process loop: a kick wakes the
+    # engine one event-step later (so same-instant arrivals still compete
+    # for priority before the pick) and the pick after a serialization
+    # hold happens inside the hold's own event.  Pacing naps go through
+    # the per-simulator :class:`_PacerHub`, which batches every wakeup
+    # that lands on the same tick into one schedule entry and calls the
+    # engine directly from it (no intermediate hop).
 
     def _kick(self) -> None:
         if self._tx_busy or self._tx_scheduled or not self._ring_open:
             return
         self._tx_scheduled = True
-        # Hand-inlined schedule push (see the link layer for rationale).
+        # Direct kernel post (see the _post contract in sim/kernel.py).
         sim = self.sim
-        heappush(sim._queue, (sim._now, sim._seq, self._tx_step_cb))
-        sim._seq += 1
+        sim._post(sim._now, self._tx_step_cb)
 
     def _tx_step(self) -> None:
         self._tx_scheduled = False
@@ -211,30 +260,20 @@ class RingMAC:
                 self.controller.window_full()
             ):
                 # Pacing gap: wake when it ends unless a kick (transit
-                # arrival, ring change) preempts the nap first.
+                # arrival, ring change) preempts the nap first.  Wakeups
+                # are coalesced per tick across every MAC on this sim.
                 self._pace_gen += 1
-                sim.call_in(gap_end - sim._now, self._pace_fire, self._pace_gen)
+                self._pacer.arm(self, gap_end, self._pace_gen)
             return
         # Insertion-register latency, then occupy the transmitter.
         self._tx_busy = True
         sim = self.sim
-        heappush(
-            sim._queue,
-            (
-                sim._now + NODE_TRANSIT_NS,
-                sim._seq,
-                Callback(self._tx_emit, (frame, inserted)),
-            ),
-        )
-        sim._seq += 1
+        sim._post(sim._now + NODE_TRANSIT_NS, Callback(self._tx_emit, (frame, inserted)))
 
     def _tx_emit(self, frame: Frame, inserted: bool) -> None:
         if self._transmit(frame, inserted):
             sim = self.sim
-            heappush(
-                sim._queue, (sim._now + frame.ser_ns, sim._seq, self._tx_step_cb)
-            )
-            sim._seq += 1
+            sim._post(sim._now + frame.ser_ns, self._tx_step_cb)
         else:
             # Transmit refused (ring/carrier changed during the register
             # latency): re-pick immediately within this event.
@@ -245,11 +284,17 @@ class RingMAC:
             return  # stale timer: the engine moved on since it was armed
         if not self._ring_open:
             return
+        # Defer the pick by one event step (same instant), exactly like
+        # a kick: arrivals landing on this tick that are already queued
+        # behind the hub's entry must still compete for priority before
+        # the pick — picking directly from the hub would let a paced
+        # MAC jump ahead of same-instant transit traffic.
         self._tx_scheduled = True
-        self.sim.call_in(0, self._tx_step)
+        sim = self.sim
+        sim._post(sim._now, self._tx_step_cb)
 
     # NOTE: _tx_emit schedules the post-serialization pick with the same
-    # reusable _tx_step_cb the kick path uses; both are plain heap pushes.
+    # reusable _tx_step_cb the kick path uses; both are plain kernel posts.
 
     def _pick_frame(self):
         """Transit first, then priority insertions, then data insertions.

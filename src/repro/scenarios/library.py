@@ -83,6 +83,26 @@ def broadcast_storm() -> ScenarioSpec:
     )
 
 
+def kernel_storm() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="kernel_storm",
+        description="Kernel-throughput gauge (bench P1): a short all-to-"
+                    "all broadcast storm whose steady-state window every "
+                    "layer of the kernel -> phys -> MAC -> transport "
+                    "stack is hot in.  Sized via with_size for the P1 "
+                    "grid; lighter per node than broadcast_storm so the "
+                    "64/255-node points stay affordable.",
+        topology=TopologySpec(n_nodes=16, n_switches=2),
+        seed=0,
+        workloads=(
+            WorkloadSpec("broadcast", count=8, channel=3),
+        ),
+        horizon_tours=40,
+        grace_tours=3000,
+        invariants=("no_drops", "all_delivered"),
+    )
+
+
 def diurnal_ramp() -> ScenarioSpec:
     return ScenarioSpec(
         name="diurnal_ramp",
@@ -653,6 +673,7 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         quiet_ring,
         slide7_mixed,
         broadcast_storm,
+        kernel_storm,
         diurnal_ramp,
         failover_under_load,
         churn_under_load,

@@ -76,12 +76,30 @@ class Callback:
     _ok = True             # never enters the strict failure path
     processed = False      # inspectable, never flipped (one-shot fire)
 
-    def __init__(self, fn: Callable[..., Any], args: tuple):
+    def __init__(self, fn: Optional[Callable[..., Any]], args: tuple):
         self.fn = fn
         self.args = args
 
+    def cancel(self) -> None:
+        """Mark the entry dead: the kernel skips it at fire time.
+
+        Scheduler-agnostic by design — cancellation is a property of the
+        entry, not of its position in a heap or wheel slot, so it works
+        no matter which queue the entry currently sits in.  The handle
+        stays on the schedule until its instant passes (or the kernel
+        compacts, see :meth:`Simulator.cancel`); it just never fires.
+        Idempotent, and harmless after the entry has already fired.
+        """
+        self.fn = None
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.fn is None
+
     def _process(self) -> None:
-        self.fn(*self.args)
+        if self.fn is not None:
+            self.fn(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Callback {getattr(self.fn, '__qualname__', self.fn)!r}>"

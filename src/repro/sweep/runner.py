@@ -16,6 +16,7 @@ are re-sorted into grid order (``SweepCell.index``) on arrival.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import traceback
@@ -29,17 +30,26 @@ __all__ = ["run_grid", "pool_map", "workers_from_env"]
 #: Env var benches consult for their grid fan-out (default: serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: A custom per-cell executor: takes the cell, returns the JSON-safe
+#: payload stored under the record's ``result`` key.  Must be a picklable
+#: module-level callable when workers > 1.
+CellFn = Callable[[SweepCell], Dict[str, Any]]
 
-def _run_cell(cell: SweepCell) -> Dict[str, Any]:
+
+def _default_cell(cell: SweepCell) -> Dict[str, Any]:
+    return ScenarioRunner(cell.spec, seed=cell.seed).run().to_dict()
+
+
+def _run_cell(cell: SweepCell, cell_fn: Optional[CellFn] = None) -> Dict[str, Any]:
     """Execute one cell; always returns a plain, picklable dict."""
     try:
-        result = ScenarioRunner(cell.spec, seed=cell.seed).run()
+        payload = (cell_fn or _default_cell)(cell)
         return {
             "index": cell.index,
             "name": cell.spec.name,
             "seed": cell.seed,
             "replicate": cell.replicate,
-            "result": result.to_dict(),
+            "result": payload,
         }
     except Exception:
         return {
@@ -55,23 +65,32 @@ def run_grid(
     grid: SweepGrid,
     workers: int = 1,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    cell_fn: Optional[CellFn] = None,
 ) -> List[Dict[str, Any]]:
     """Run every cell; returns records sorted into grid order.
 
     ``progress`` (when given) is called once per record as it completes
     — completion order, not grid order — for live CLI reporting.
+
+    ``cell_fn`` (when given) replaces the default run-and-to_dict cell
+    body — benches use it to attach probes or extra instrumentation to
+    each cell while keeping the grid expansion, pool transport and
+    grid-order sorting (and therefore worker-count invariance) from
+    here.  It must be a picklable module-level callable returning a
+    JSON-safe dict.
     """
     cells = grid.cells()
     records: List[Dict[str, Any]] = []
+    worker = functools.partial(_run_cell, cell_fn=cell_fn)
     if workers <= 1 or len(cells) == 1:
         for cell in cells:
-            record = _run_cell(cell)
+            record = worker(cell)
             if progress is not None:
                 progress(record)
             records.append(record)
     else:
         with multiprocessing.Pool(min(workers, len(cells))) as pool:
-            for record in pool.imap_unordered(_run_cell, cells, chunksize=1):
+            for record in pool.imap_unordered(worker, cells, chunksize=1):
                 if progress is not None:
                     progress(record)
                 records.append(record)

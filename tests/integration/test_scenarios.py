@@ -29,6 +29,7 @@ ALL_NAMES = (
     "quiet_ring",
     "slide7_mixed",
     "broadcast_storm",
+    "kernel_storm",
     "diurnal_ramp",
     "failover_under_load",
     "churn_under_load",

@@ -40,6 +40,35 @@ def test_probe_window_and_report_fields():
     assert sim.on_event is None
     payload = report.to_dict()
     assert payload["events"] == 100 and "by_layer" in payload
+    # Scheduler occupancy rides along: the schedule drained, so nothing
+    # is resident, and this workload (gaps of 7ns) never left the wheel.
+    sched = payload["scheduler"]
+    assert sched["wheel_entries"] == 0
+    assert sched["overflow_entries"] == 0
+    assert sched["overflow_spills"] == 0
+    assert sched["wheel_slot_histogram"] == {}
+
+
+def test_scheduler_snapshot_sees_resident_entries_and_spills():
+    sim = Simulator()
+    probe = PerfProbe(sim)
+    probe.start()
+    # Three entries in one slot, one in another, one past the wheel
+    # horizon (the wheel covers [0, 8192) at t=0).
+    for _ in range(3):
+        sim.call_in(100, lambda: None)
+    sim.call_in(200, lambda: None)
+    sim.call_in(1_000_000, lambda: None)
+    sched = probe.snapshot().scheduler
+    assert sched["wheel_entries"] == 4
+    assert sched["wheel_slots_occupied"] == 2
+    assert sched["overflow_entries"] == 1
+    assert sched["overflow_spills"] == 1
+    assert sched["wheel_slot_histogram"] == {"1": 1, "3": 1}
+    # Spills are a window delta: reopening the window zeroes them.
+    probe.start()
+    assert probe.snapshot().scheduler["overflow_spills"] == 0
+    probe.stop()
 
 
 def test_layer_classification():
