@@ -1,0 +1,67 @@
+"""In-network content caching over the cluster.
+
+The first user-facing *service* vertical on top of the transport stack:
+Zipf-skewed demand (see :mod:`repro.workloads.popularity`) hits
+per-segment :class:`SegmentCache` nodes fronting an
+:class:`OriginService` under cache-aside / read-through / write-behind
+policies, and — on routed clusters — gateway routers with an enabled
+:class:`CacheConfig` answer repeat crossings from an
+:class:`OnPathCache` instead of ferrying them to the origin segment.
+
+Everything is default-off and digest-neutral: a scenario without a
+``CacheSpec`` and routers without an enabled ``CacheConfig`` run the
+exact pre-caching timeline (the golden-trace suite pins this, the same
+contract :mod:`repro.resilience` holds).  Counters fold into scenario
+results under a ``cache_`` prefix (service side) and as
+``router_cache_*`` (on-path side).
+"""
+
+from .config import CacheConfig, DEFAULT_CONTENT_CHANNEL, EVICTION_POLICIES
+from .onpath import OnPathCache
+from .service import (
+    CACHE_POLICIES,
+    CacheDeployment,
+    OriginService,
+    SegmentCache,
+    origin_body,
+)
+from .store import CacheStore
+from .wire import (
+    HEADER_BYTES,
+    OP_REQUEST,
+    OP_RESPONSE,
+    OP_WRITE,
+    OP_WRITE_ACK,
+    ContentFrame,
+    decode,
+    encode_request,
+    encode_response,
+    encode_write,
+    encode_write_ack,
+    request_key,
+)
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CacheConfig",
+    "CacheDeployment",
+    "CacheStore",
+    "ContentFrame",
+    "DEFAULT_CONTENT_CHANNEL",
+    "EVICTION_POLICIES",
+    "HEADER_BYTES",
+    "OP_REQUEST",
+    "OP_RESPONSE",
+    "OP_WRITE",
+    "OP_WRITE_ACK",
+    "OnPathCache",
+    "OriginService",
+    "SegmentCache",
+    "decode",
+    "encode_request",
+    "encode_response",
+    "encode_write",
+    "encode_write_ack",
+    "origin_body",
+    "request_key",
+]

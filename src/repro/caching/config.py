@@ -1,0 +1,51 @@
+"""On-path cache configuration for segment routers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "EVICTION_POLICIES", "DEFAULT_CONTENT_CHANNEL"]
+
+#: Eviction disciplines :class:`~repro.caching.store.CacheStore` knows.
+EVICTION_POLICIES = ("lru", "lfu")
+
+#: Default message channel of the content protocol.  The low channel
+#: ids are claimed by the per-node default services (AmpIP on 0, the
+#: cache replicator on 1, refresh on 2, ...), so content traffic rides
+#: high, next to the chaos-scenario convention.
+DEFAULT_CONTENT_CHANNEL = 13
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """On-path content cache knobs for one router.
+
+    Defaults **off**: a router built without (or with a default)
+    ``CacheConfig`` behaves bit-identically to the cache-free routing
+    layer — no store is allocated, no branch on the forwarding path
+    fires — which is what keeps the golden trace digests stable, the
+    same contract :class:`~repro.resilience.ResilienceConfig` holds for
+    the resilience patterns.
+    """
+
+    #: tap crossings on ``channel`` at this router: remember ferried
+    #: RESPONSE bodies, answer repeat REQUESTs from the ingress gateway
+    #: instead of forwarding them to the origin segment
+    enabled: bool = False
+    #: bounded store size, in content entries
+    capacity: int = 64
+    #: eviction discipline: ``"lru"`` or ``"lfu"``
+    eviction: str = "lru"
+    #: message channel carrying the content protocol
+    channel: int = DEFAULT_CONTENT_CHANNEL
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1 entry")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if not 0 <= self.channel <= 0xF:
+            raise ValueError("cache channel out of range (0..15)")

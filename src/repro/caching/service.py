@@ -1,0 +1,357 @@
+"""Content services over a cluster: origin, per-segment caches, and the
+deployment wrapper the scenario runner drives.
+
+An :class:`OriginService` is the authoritative content store on one
+node: it answers REQUESTs with deterministic (or previously written)
+bodies and applies WRITEs.  A :class:`SegmentCache` is a bounded cache
+on another node, answering the same protocol under one of three
+policies:
+
+* ``read_through`` — the cache owns the loader: concurrent misses for
+  one content id coalesce into a single origin fetch, and every waiter
+  is answered from the one response;
+* ``cache_aside`` — the loader belongs to each request: every miss
+  triggers its own origin fetch (no coalescing), modelling clients that
+  populate the cache themselves after a miss, with the cache node
+  standing in for the client-side loader so clients stay thin;
+* ``write_behind`` — reads behave like ``read_through``, but WRITEs are
+  acknowledged immediately from the cache and flushed to the origin
+  lazily, in bounded batches on a timer.
+
+Under ``read_through``/``cache_aside``, WRITEs are forwarded to the
+origin synchronously (write-through) after the local update, so the
+origin never serves stale content once the write is acknowledged.
+
+Addresses follow the workload convention: plain node ids on a
+single-segment cluster, ``(segment, node)`` tuples on a routed one —
+the messenger resolves both.  Every service owns exactly one messenger
+channel per node and releases it in ``close()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..sim import Counter
+from .config import DEFAULT_CONTENT_CHANNEL, EVICTION_POLICIES
+from .store import CacheStore
+from .wire import (
+    OP_REQUEST,
+    OP_RESPONSE,
+    OP_WRITE,
+    OP_WRITE_ACK,
+    decode,
+    encode_request,
+    encode_response,
+    encode_write,
+    encode_write_ack,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import AmpNetCluster
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CacheDeployment",
+    "OriginService",
+    "SegmentCache",
+    "origin_body",
+]
+
+#: Cache policies :class:`SegmentCache` implements.
+CACHE_POLICIES = ("cache_aside", "read_through", "write_behind")
+
+
+def origin_body(content_id: int, content_bytes: int) -> bytes:
+    """The origin's deterministic default body for ``content_id`` —
+    shared with tests so cache fills are verifiable end to end."""
+    return bytes((content_id + i) % 256 for i in range(content_bytes))
+
+
+class OriginService:
+    """The authoritative content endpoint on one node."""
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        address,
+        content_bytes: int = 40,
+        channel: int = DEFAULT_CONTENT_CHANNEL,
+    ):
+        if content_bytes < 1:
+            raise ValueError("content_bytes must be >= 1")
+        self.cluster = cluster
+        self.address = address
+        self.content_bytes = content_bytes
+        self.channel = channel
+        self.counters = Counter()
+        #: content ids overwritten by WRITEs (sparse over the catalog)
+        self._written: Dict[int, bytes] = {}
+        self.closed = False
+        self._node = cluster.nodes[address]
+        self._node.messenger.on_message(channel, self._rx)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._node.messenger.off_message(self.channel)
+
+    def body_of(self, content_id: int) -> bytes:
+        return self._written.get(
+            content_id, origin_body(content_id, self.content_bytes)
+        )
+
+    def _rx(self, src, payload: bytes, channel: int) -> None:
+        frame = decode(payload)
+        if frame is None:
+            self.counters.incr("origin_malformed")
+            return
+        if frame.op == OP_REQUEST:
+            self.counters.incr("origin_requests")
+            self._node.messenger.send(
+                src,
+                encode_response(frame.seq, frame.content_id,
+                                self.body_of(frame.content_id)),
+                channel,
+            )
+            self.counters.incr("origin_responses")
+        elif frame.op == OP_WRITE:
+            self._written[frame.content_id] = frame.body
+            self.counters.incr("origin_writes")
+        # RESPONSE / WRITE_ACK frames are not the origin's to handle.
+
+
+class _Fetch:
+    """One in-flight cache -> origin fetch and the clients awaiting it."""
+
+    __slots__ = ("content_id", "waiters")
+
+    def __init__(self, content_id: int):
+        self.content_id = content_id
+        #: (client address, client seq) pairs answered on completion
+        self.waiters: List[Tuple[Any, int]] = []
+
+
+class SegmentCache:
+    """A bounded content cache on one node, fronting an origin."""
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        address,
+        origin,
+        policy: str = "read_through",
+        capacity: int = 64,
+        eviction: str = "lru",
+        channel: int = DEFAULT_CONTENT_CHANNEL,
+        flush_interval_ns: int = 500_000,
+        flush_batch: int = 8,
+    ):
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; "
+                f"expected one of {CACHE_POLICIES}"
+            )
+        if eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if address == origin:
+            raise ValueError("a cache cannot front itself as origin")
+        if flush_interval_ns < 1 or flush_batch < 1:
+            raise ValueError("flush interval and batch must be >= 1")
+        self.cluster = cluster
+        self.address = address
+        self.origin = origin
+        self.policy = policy
+        self.channel = channel
+        self.flush_interval_ns = flush_interval_ns
+        self.flush_batch = flush_batch
+        self.store = CacheStore(capacity, eviction)
+        self.counters = Counter()
+        #: fetch seq -> in-flight origin fetch
+        self._pending: Dict[int, _Fetch] = {}
+        #: content id -> fetch seq (the coalescing index)
+        self._pending_by_cid: Dict[int, int] = {}
+        self._next_seq = 0
+        #: write-behind backlog, FIFO by first dirtying
+        self._dirty: "OrderedDict[int, bytes]" = OrderedDict()
+        self._flush_armed = False
+        self.closed = False
+        self._node = cluster.nodes[address]
+        self._node.messenger.on_message(channel, self._rx)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._node.messenger.off_message(self.channel)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    # ------------------------------------------------------------- receive
+    def _rx(self, src, payload: bytes, channel: int) -> None:
+        frame = decode(payload)
+        if frame is None:
+            self.counters.incr("malformed")
+            return
+        if frame.op == OP_REQUEST:
+            self._on_request(src, frame.seq, frame.content_id)
+        elif frame.op == OP_RESPONSE:
+            self._on_origin_response(frame.seq, frame.content_id, frame.body)
+        elif frame.op == OP_WRITE:
+            self._on_write(src, frame.seq, frame.content_id, frame.body)
+        # WRITE_ACKs terminate at clients, not here.
+
+    def _on_request(self, src, seq: int, content_id: int) -> None:
+        body = self.store.get(content_id)
+        if body is not None:
+            self.counters.incr("hits")
+            self._respond(src, seq, content_id, body)
+            return
+        self.counters.incr("misses")
+        if self.policy != "cache_aside":
+            # read_through/write_behind: the cache owns the loader, so
+            # concurrent misses for one id share a single origin fetch.
+            fetch_seq = self._pending_by_cid.get(content_id)
+            if fetch_seq is not None:
+                self._pending[fetch_seq].waiters.append((src, seq))
+                self.counters.incr("coalesced")
+                return
+        fetch = _Fetch(content_id)
+        fetch.waiters.append((src, seq))
+        fetch_seq = self._take_seq()
+        self._pending[fetch_seq] = fetch
+        if self.policy != "cache_aside":
+            self._pending_by_cid[content_id] = fetch_seq
+        self.counters.incr("origin_fetches")
+        self._node.messenger.send(
+            self.origin, encode_request(fetch_seq, content_id), self.channel
+        )
+
+    def _on_origin_response(self, seq: int, content_id: int,
+                            body: bytes) -> None:
+        fetch = self._pending.pop(seq, None)
+        if fetch is None:
+            self.counters.incr("stray_responses")
+            return
+        if self._pending_by_cid.get(fetch.content_id) == seq:
+            del self._pending_by_cid[fetch.content_id]
+        if self.store.put(content_id, body) is not None:
+            self.counters.incr("evictions")
+        self.counters.incr("fills")
+        for waiter_src, waiter_seq in fetch.waiters:
+            self._respond(waiter_src, waiter_seq, content_id, body)
+
+    def _on_write(self, src, seq: int, content_id: int, body: bytes) -> None:
+        self.counters.incr("writes")
+        if self.store.put(content_id, body) is not None:
+            self.counters.incr("evictions")
+        self._node.messenger.send(
+            src, encode_write_ack(seq, content_id), self.channel
+        )
+        if self.policy == "write_behind":
+            # Dirty entries keep their own copy: a later store eviction
+            # must not lose an unflushed write.
+            self._dirty[content_id] = body
+            self._arm_flush()
+        else:
+            self.counters.incr("write_through")
+            self._node.messenger.send(
+                self.origin,
+                encode_write(self._take_seq(), content_id, body),
+                self.channel,
+            )
+
+    def _respond(self, dst, seq: int, content_id: int, body: bytes) -> None:
+        self._node.messenger.send(
+            dst, encode_response(seq, content_id, body), self.channel
+        )
+        self.counters.incr("responses")
+
+    def _take_seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    # --------------------------------------------------------- write-behind
+    def _arm_flush(self) -> None:
+        if self._flush_armed:
+            return
+        self._flush_armed = True
+        self.cluster.sim.call_in(self.flush_interval_ns, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_armed = False
+        if self.closed or not self._dirty:
+            return
+        for _ in range(min(self.flush_batch, len(self._dirty))):
+            content_id, body = self._dirty.popitem(last=False)
+            self._node.messenger.send(
+                self.origin,
+                encode_write(self._take_seq(), content_id, body),
+                self.channel,
+            )
+            self.counters.incr("flushed")
+        self.counters.incr("flush_batches")
+        if self._dirty:
+            self._arm_flush()
+
+
+class CacheDeployment:
+    """One origin plus its caches, built from a scenario's CacheSpec.
+
+    The runner constructs this after ring-up and *before* workloads, so
+    every service handler is listening before the first request leaves a
+    client, and folds :meth:`counter_totals` into the result counters
+    under a ``cache_`` prefix (mirroring the ``router_`` fold).
+    """
+
+    def __init__(
+        self,
+        cluster: "AmpNetCluster",
+        origin,
+        caches=(),
+        policy: str = "read_through",
+        capacity: int = 64,
+        eviction: str = "lru",
+        content_bytes: int = 40,
+        channel: int = DEFAULT_CONTENT_CHANNEL,
+        flush_interval_ns: int = 500_000,
+        flush_batch: int = 8,
+    ):
+        self.origin = OriginService(
+            cluster, origin, content_bytes=content_bytes, channel=channel
+        )
+        self.caches: List[SegmentCache] = [
+            SegmentCache(
+                cluster, address, origin, policy=policy, capacity=capacity,
+                eviction=eviction, channel=channel,
+                flush_interval_ns=flush_interval_ns, flush_batch=flush_batch,
+            )
+            for address in caches
+        ]
+
+    def close(self) -> None:
+        for cache in self.caches:
+            cache.close()
+        self.origin.close()
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Deployment-wide accounting, sorted by name: origin counters,
+        cache counters summed across caches, plus residency gauges."""
+        totals: Dict[str, int] = dict(self.origin.counters)
+        for cache in self.caches:
+            for key, value in cache.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        if self.caches:
+            totals["resident"] = sum(len(c.store) for c in self.caches)
+            totals["store_evictions"] = sum(
+                c.store.evictions for c in self.caches
+            )
+            totals["dirty_resident"] = sum(c.dirty_count for c in self.caches)
+        return dict(sorted(totals.items()))

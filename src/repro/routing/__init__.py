@@ -35,11 +35,13 @@ makes the failover exactly-once.  See ``docs/architecture.md`` for the
 layer diagram and the failover walk-through.
 """
 
+from ..caching import CacheConfig
 from ..resilience import ResilienceConfig
 from .cluster import RoutedCluster, RoutedClusterConfig
 from .router import PortRole, RouterConfig, SegmentRouter
 
 __all__ = [
+    "CacheConfig",
     "PortRole",
     "ResilienceConfig",
     "RoutedCluster",

@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from ..caching import CacheConfig, OnPathCache
 from ..membership import PeerStatus
 from ..micropacket import BROADCAST, MicroPacket
 from ..resilience import (
@@ -137,6 +138,9 @@ class RouterConfig:
     #: resilience-pattern suite (circuit breaker, dead-letter,
     #: throttling, bulkhead); None = every pattern off
     resilience: Optional[ResilienceConfig] = None
+    #: on-path content cache (see :class:`repro.caching.CacheConfig`);
+    #: None (or enabled=False) = tap absent, bit-identical forwarding
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         segs = tuple(self.segments)
@@ -147,6 +151,8 @@ class RouterConfig:
             object.__setattr__(
                 self, "resilience", ResilienceConfig(**dict(self.resilience))
             )
+        if self.cache is not None and not isinstance(self.cache, CacheConfig):
+            object.__setattr__(self, "cache", CacheConfig(**dict(self.cache)))
         if len(segs) < 2:
             raise ValueError("a router joins at least two segments")
         if len(set(segs)) != len(segs):
@@ -600,6 +606,13 @@ class SegmentRouter:
         #: resilience policy (defaults = every pattern off)
         self.res = (config.resilience if config.resilience is not None
                     else ResilienceConfig())
+        #: on-path content cache; None keeps the forwarding fast path
+        #: branch-free (the tap only exists when explicitly enabled)
+        self.cache = (
+            OnPathCache(config.cache, self.counters)
+            if config.cache is not None and config.cache.enabled
+            else None
+        )
         #: the dead-letter accounting channel always exists (the breaker
         #: fails fast into it regardless of the dead_letter flag); inert
         #: and allocation-free until something consumes into it
@@ -914,6 +927,14 @@ class SegmentRouter:
                 self.shadow.append(shadow)  # still blocked: keep holding
             else:
                 self._shadow_park(ingress, crossing)
+            return
+        if self.cache is not None and self.cache.serve(ingress_port, crossing):
+            # Answered from the on-path cache: the response went back
+            # onto the ingress ring and the crossing never leaves this
+            # router.  Sits after the role gate so only the designated
+            # router answers (a blocked redundant router would have
+            # produced a duplicate response); a shadow entry promoted
+            # into a local answer is equally consumed.
             return
         if not egress_port.enqueue(crossing):
             if shadow is not None:

@@ -34,6 +34,7 @@ from .runner import (
     trace_digest,
 )
 from .spec import (
+    CacheSpec,
     FaultSpec,
     RouterSpec,
     ScenarioSpec,
@@ -44,6 +45,7 @@ from .spec import (
 
 __all__ = [
     "SCENARIOS",
+    "CacheSpec",
     "FaultSpec",
     "InvariantResult",
     "RouterSpec",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from .spec import (
+    CacheSpec,
     FaultSpec,
     RouterSpec,
     ScenarioSpec,
@@ -667,6 +668,78 @@ def bulkhead_noisy_neighbor() -> ScenarioSpec:
     )
 
 
+def zipf_cache_warmup() -> ScenarioSpec:
+    # Node 0 is the origin, node 1 the read-through cache, nodes 2 and 3
+    # the clients.  The cache holds 8 of 24 catalog entries, so the Zipf
+    # head (alpha 1.1) warms in and stays while the tail keeps missing —
+    # both hit and miss paths (and LRU eviction) are live in the golden
+    # timeline.  Each content service claims channel 13 on its own node
+    # only, so origin, cache and both clients coexist conflict-free.
+    return ScenarioSpec(
+        name="zipf_cache_warmup",
+        description="Zipf-skewed content demand warming a read-through "
+                    "segment cache: two clients request from a bounded "
+                    "LRU cache node fronting an origin node; the catalog "
+                    "head pins itself in cache while the tail churns.",
+        topology=TopologySpec(n_nodes=8, n_switches=2),
+        seed=7,
+        cache=CacheSpec(origin=0, caches=(1,), policy="read_through",
+                        capacity=8, eviction="lru"),
+        workloads=(
+            WorkloadSpec("zipf", count=60, src=2, dst=1, channel=13,
+                         reliable=True,
+                         params={"interval_ns": 5_000, "alpha": 1.1,
+                                 "catalog_size": 24}),
+            WorkloadSpec("zipf", count=40, src=3, dst=1, channel=13,
+                         reliable=True,
+                         params={"interval_ns": 7_000, "alpha": 1.1,
+                                 "catalog_size": 24}),
+        ),
+        horizon_tours=400,
+    )
+
+
+def cache_offload_star() -> ScenarioSpec:
+    # The four_ring_512 star with the router's on-path cache enabled:
+    # clients on segments 1..3 request Zipf-skewed content from the
+    # origin on segment 0, and the four-port router remembers every
+    # RESPONSE it ferries.  The catalog (12) fits the router store (32),
+    # so once the head warms in, repeat crossings are answered at the
+    # requester's own gateway — never touching the origin segment.  The
+    # C1 bench sweeps this shape's alpha/capacity axes.
+    return ScenarioSpec(
+        name="cache_offload_star",
+        description="In-network caching on the 512-node star: the "
+                    "four-port router answers repeat content crossings "
+                    "from its on-path cache, offloading the origin "
+                    "segment; Zipf clients on three segments drive it.",
+        topology=TopologySpec(
+            segments=tuple(SegmentSpec(n_nodes=128) for _ in range(4)),
+            routers=(RouterSpec(segments=(0, 1, 2, 3),
+                                cache={"enabled": True, "capacity": 32}),),
+        ),
+        seed=7,
+        cache=CacheSpec(origin=(0, 1)),
+        workloads=(
+            WorkloadSpec("zipf", count=12, src=(1, 5), dst=(0, 1),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 150_000, "alpha": 1.2,
+                                 "catalog_size": 12}),
+            WorkloadSpec("zipf", count=12, src=(2, 64), dst=(0, 1),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 150_000, "alpha": 1.2,
+                                 "catalog_size": 12}),
+            WorkloadSpec("zipf", count=12, src=(3, 90), dst=(0, 1),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 150_000, "alpha": 1.2,
+                                 "catalog_size": 12}),
+        ),
+        horizon_tours=25,
+        grace_tours=400,
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -690,6 +763,8 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         flapping_spine,
         breaker_asymmetric_partition,
         bulkhead_noisy_neighbor,
+        zipf_cache_warmup,
+        cache_offload_star,
     )
 }
 

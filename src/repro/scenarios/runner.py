@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..analysis import ring_drop_count
+from ..caching import CacheDeployment
 from ..cluster import AmpNetCluster
 from ..micropacket import BROADCAST
 from ..sim import Tracer
@@ -33,6 +34,8 @@ from ..workloads import (
     InhomogeneousPoissonStream,
     MessageStream,
     PoissonStream,
+    TraceReplayStream,
+    ZipfStream,
     pareto_size_fn,
     ramp_profile,
     sinusoidal_profile,
@@ -165,6 +168,7 @@ class ScenarioRunner:
         self.seed = spec.seed if seed is None else seed
         self.cluster: Optional[AmpNetCluster] = None
         self.workloads: List[Any] = []
+        self.cache_deployment: Optional[CacheDeployment] = None
         self.ring_up_ns = 0
         self._phase_hook = phase_hook
 
@@ -182,6 +186,18 @@ class ScenarioRunner:
         tour = cluster.tour_estimate_ns
         self._phase("ring_up")
 
+        if spec.cache is not None:
+            # Content services listen before the first request leaves a
+            # client, so a zipf stream's opening burst cannot race the
+            # origin's channel claim.
+            c = spec.cache
+            self.cache_deployment = CacheDeployment(
+                cluster, c.origin, caches=c.caches, policy=c.policy,
+                capacity=c.capacity, eviction=c.eviction,
+                content_bytes=c.content_bytes, channel=c.channel,
+                flush_interval_ns=max(1, int(c.flush_interval_tours * tour)),
+                flush_batch=c.flush_batch,
+            )
         self.workloads = [
             self._build_workload(w, index) for index, w in enumerate(spec.workloads)
         ]
@@ -218,6 +234,8 @@ class ScenarioRunner:
 
         for workload in self.workloads:
             workload.close()
+        if self.cache_deployment is not None:
+            self.cache_deployment.close()
         return self._judge()
 
     # ----------------------------------------------------------- workloads
@@ -275,6 +293,28 @@ class ScenarioRunner:
                 count=w.count, channel=w.channel, name=name,
                 reliable=w.reliable, **params,
             )
+        if w.kind == "zipf":
+            return ZipfStream(
+                cluster, w.src, w.dst,
+                interval_ns=params.pop("interval_ns"),
+                count=w.count, alpha=params.pop("alpha", 0.9),
+                catalog_size=params.pop("catalog_size", 64),
+                channel=w.channel, name=name, **params,
+            )
+        if w.kind == "trace_replay":
+            trace = params.pop("trace", None)
+            if trace is None:
+                trace = params.pop("trace_path")
+            stream = TraceReplayStream(
+                cluster, w.src, w.dst, trace=trace,
+                channel=w.channel, name=name, **params,
+            )
+            if stream.count != w.count:
+                raise ValueError(
+                    f"trace_replay workload {name!r} declares count="
+                    f"{w.count} but its trace has {stream.count} records"
+                )
+            return stream
         raise ValueError(f"unknown workload kind {w.kind!r}")  # pragma: no cover
 
     def _build_profile(self, profile_spec) -> Callable[[int], float]:
@@ -359,6 +399,14 @@ class ScenarioRunner:
             counters.update(
                 (f"router_{k}", v)
                 for k, v in cluster.router_counter_totals().items()
+            )
+        if self.cache_deployment is not None:
+            # Caching scenarios: the service tier's accounting (hits,
+            # misses, fills, origin traffic, flush activity) under the
+            # same prefix discipline as the router fold.
+            counters.update(
+                (f"cache_{k}", v)
+                for k, v in self.cache_deployment.counter_totals().items()
             )
         result = ScenarioResult(
             name=spec.name,

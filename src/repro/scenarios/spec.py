@@ -23,6 +23,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from ..caching import (
+    CACHE_POLICIES,
+    CacheConfig,
+    DEFAULT_CONTENT_CHANNEL,
+    EVICTION_POLICIES,
+)
 from ..cluster import AmpNetCluster, ClusterConfig
 from ..faults import FaultSchedule
 from ..resilience import ResilienceConfig
@@ -31,6 +37,7 @@ __all__ = [
     "SegmentSpec",
     "RouterSpec",
     "TopologySpec",
+    "CacheSpec",
     "WorkloadSpec",
     "FaultSpec",
     "ScenarioSpec",
@@ -69,6 +76,10 @@ class RouterSpec:
     #: :class:`repro.resilience.ResilienceConfig`); ``None`` keeps every
     #: pattern off — the exact pre-resilience wire behaviour.
     resilience: Optional[ResilienceConfig] = None
+    #: on-path content cache at this router (see
+    #: :class:`repro.caching.CacheConfig`); ``None`` keeps the
+    #: forwarding path bit-identical to the cache-free router.
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", tuple(self.segments))
@@ -79,6 +90,10 @@ class RouterSpec:
         ):
             object.__setattr__(
                 self, "resilience", ResilienceConfig(**dict(self.resilience))
+            )
+        if self.cache is not None and not isinstance(self.cache, CacheConfig):
+            object.__setattr__(
+                self, "cache", CacheConfig(**dict(self.cache))
             )
 
 
@@ -135,6 +150,63 @@ class TopologySpec:
         return self.n_nodes
 
 
+@dataclass(frozen=True)
+class CacheSpec:
+    """The in-network caching service of a scenario: one origin node and
+    the :class:`~repro.caching.SegmentCache` nodes fronting it.
+
+    Addresses follow the workload convention — plain node ids on a
+    single-segment topology, ``(segment, node)`` pairs on a routed one.
+    ``caches`` may be empty: on a routed topology with router
+    ``cache=CacheConfig(enabled=True)`` the gateway routers themselves
+    are the cache tier (the on-path tap), and the spec only places the
+    origin.  ``flush_interval_tours`` scales the write-behind flush
+    timer with the ring tour, like every other scenario time knob.
+    """
+
+    origin: Address
+    caches: Tuple[Address, ...] = ()
+    policy: str = "read_through"
+    capacity: int = 64
+    eviction: str = "lru"
+    content_bytes: int = 40
+    channel: int = DEFAULT_CONTENT_CHANNEL
+    flush_interval_tours: float = 20.0
+    flush_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if isinstance(self.origin, (list, tuple)):
+            object.__setattr__(self, "origin", tuple(self.origin))
+        object.__setattr__(
+            self,
+            "caches",
+            tuple(
+                tuple(c) if isinstance(c, (list, tuple)) else c
+                for c in self.caches
+            ),
+        )
+        if self.policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.policy!r}; "
+                f"expected one of {CACHE_POLICIES}"
+            )
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1 entry")
+        if self.content_bytes < 1:
+            raise ValueError("content_bytes must be >= 1")
+        if not 0 <= self.channel <= 0xF:
+            raise ValueError("cache channel out of range (0..15)")
+        if self.flush_interval_tours <= 0 or self.flush_batch < 1:
+            raise ValueError("flush interval and batch must be positive")
+        if self.origin in self.caches:
+            raise ValueError("the origin node cannot also be a cache")
+
+
 #: Workload kinds the runner knows how to instantiate.
 WORKLOAD_KINDS = (
     "message",
@@ -143,7 +215,13 @@ WORKLOAD_KINDS = (
     "poisson",
     "inhomogeneous_poisson",
     "burst",
+    "zipf",
+    "trace_replay",
 )
+
+#: Content request/response kinds — always messenger-carried, addressed
+#: at a content service placed by the scenario's :class:`CacheSpec`.
+CONTENT_WORKLOAD_KINDS = ("zipf", "trace_replay")
 
 
 @dataclass(frozen=True)
@@ -164,10 +242,20 @@ class WorkloadSpec:
                                  "end_tours": ..., "floor": ...}``
     ``burst``                    ``burst_mean``, ``intra_gap_ns``,
                                  ``off_mean_ns``
+    ``zipf``                     ``interval_ns``, ``alpha``,
+                                 ``catalog_size``, ``request_bytes``
+    ``trace_replay``             ``trace`` (list of ``[time_ns,
+                                 content_id]`` pairs) or ``trace_path``,
+                                 plus ``request_bytes``; ``count`` must
+                                 equal the trace length
 
     ``reliable`` routes unicast payloads through the messenger so they
     survive ring churn (required for fault scenarios that assert full
-    delivery).
+    delivery).  The content kinds (``zipf``/``trace_replay``) are
+    request/response streams against the scenario's :class:`CacheSpec`
+    service — inherently messenger-carried, so they must declare
+    ``reliable=True``; ``dst`` is the node they address (a cache, or
+    the origin when crossings should hit the on-path router tap).
 
     Any stream kind except ``file``/``broadcast`` additionally accepts a
     ``pareto_sizes`` param (``{"alpha": ..., "min_bytes": ...,
@@ -220,6 +308,11 @@ class WorkloadSpec:
                 )
         elif self.src is None or self.dst is None:
             raise ValueError(f"{self.kind} workload needs src and dst")
+        if self.kind in CONTENT_WORKLOAD_KINDS and not self.reliable:
+            raise ValueError(
+                f"{self.kind} workloads are messenger-carried "
+                "request/response streams; declare reliable=True"
+            )
 
 
 #: Fault kinds, mirroring the FaultSchedule builder methods.
@@ -321,6 +414,9 @@ class ScenarioSpec:
     membership_liveness: bool = False
     workloads: Tuple[WorkloadSpec, ...] = ()
     faults: Tuple[FaultSpec, ...] = ()
+    #: in-network caching service (origin + cache nodes); ``None`` means
+    #: no content services are deployed — the pre-caching timeline.
+    cache: Optional[CacheSpec] = None
     #: main run horizon after ring-up, in ring tours
     horizon_tours: int = 400
     #: extra settling time granted while workloads are still completing
@@ -344,6 +440,36 @@ class ScenarioSpec:
                 "membership_view_consistent requires membership=True"
             )
         multi = self.topology.multi_segment
+        if self.cache is not None and not isinstance(self.cache, CacheSpec):
+            object.__setattr__(self, "cache", CacheSpec(**dict(self.cache)))
+        if self.cache is not None:
+            for what, addr in (
+                ("cache origin", self.cache.origin),
+                *(("cache node", c) for c in self.cache.caches),
+            ):
+                if multi:
+                    if not isinstance(addr, tuple):
+                        raise ValueError(
+                            f"multi-segment topologies address the "
+                            f"{what} as (segment, node); got {addr!r}"
+                        )
+                    seg, _node = addr
+                    if not 0 <= seg < len(self.topology.segments):
+                        raise ValueError(
+                            f"{what} names segment {seg}; topology has "
+                            f"segments 0..{len(self.topology.segments) - 1}"
+                        )
+                elif isinstance(addr, tuple):
+                    raise ValueError(
+                        f"single-segment topologies use plain node ids "
+                        f"for the {what}; got {addr!r}"
+                    )
+        for workload in self.workloads:
+            if workload.kind in CONTENT_WORKLOAD_KINDS and self.cache is None:
+                raise ValueError(
+                    f"{workload.kind} workloads need the scenario to "
+                    "declare a CacheSpec (they address its services)"
+                )
         object.__setattr__(
             self,
             "expect_dead",
@@ -499,6 +625,7 @@ class ScenarioSpec:
                         egress_window=r.egress_window,
                         priority=r.priority,
                         resilience=r.resilience,
+                        cache=r.cache,
                     )
                     for r in self.topology.routers
                 ],
@@ -544,8 +671,18 @@ class ScenarioSpec:
 
     # ---------------------------------------------------------------- misc
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly form, embedded in bench emissions and the CLI."""
+        """JSON-friendly form, embedded in bench emissions and the CLI.
+
+        Optional late-addition fields (``cache`` here and on routers)
+        are omitted while unset so every pre-caching emission keeps its
+        exact committed schema — the F3 regression pins this.
+        """
         out = asdict(self)
         out["workloads"] = [dict(asdict(w), params=dict(w.params))
                             for w in self.workloads]
+        if out.get("cache") is None:
+            out.pop("cache", None)
+        for router in out["topology"]["routers"]:
+            if router.get("cache") is None:
+                router.pop("cache", None)
         return out

@@ -10,7 +10,10 @@ Constant-rate :class:`MessageStream` and :class:`FileStream` cover the
 paper's slide-7 mix; :class:`AllToAllBroadcast` is the slide-8 storm;
 :mod:`repro.workloads.stochastic` adds seeded Poisson,
 inhomogeneous-Poisson (thinning) and burst arrival processes plus
-bounded-Pareto heavy-tailed payload sizes.  All randomness draws from
+bounded-Pareto heavy-tailed payload sizes;
+:mod:`repro.workloads.popularity` adds Zipf-skewed and trace-replayed
+content request streams over the :mod:`repro.caching` protocol.  All
+randomness draws from
 named ``sim.rng`` streams, so workloads never perturb each other and
 every run replays bit-identically under its seed.  Generators own the
 receive handlers they install and release them in ``close()``, letting
@@ -23,6 +26,14 @@ from .generators import (
     MessageStream,
     StreamStats,
     run_slide7_mixed_workload,
+)
+from .popularity import (
+    ContentStream,
+    TraceReplayStream,
+    ZipfStream,
+    load_trace,
+    zipf_sampler,
+    zipf_weights,
 )
 from .stochastic import (
     BurstStream,
@@ -39,6 +50,7 @@ from .stochastic import (
 __all__ = [
     "AllToAllBroadcast",
     "BurstStream",
+    "ContentStream",
     "FileStream",
     "InhomogeneousPoissonStream",
     "MessageStream",
@@ -46,9 +58,14 @@ __all__ = [
     "ParetoSizeMixin",
     "PoissonStream",
     "StreamStats",
+    "TraceReplayStream",
+    "ZipfStream",
+    "load_trace",
     "pareto_size_fn",
     "pareto_sizes",
     "ramp_profile",
     "run_slide7_mixed_workload",
     "sinusoidal_profile",
+    "zipf_sampler",
+    "zipf_weights",
 ]

@@ -38,6 +38,10 @@ GOLDEN = {
     # delivery timestamps stay identical (quiet_ring and slide7_mixed
     # digests did not move).
     "churn_under_load": "2a4bce4aa589845f65710314af470d43",
+    # The caching wave's golden: Zipf demand warming a read-through LRU
+    # cache pins the content protocol (request/response matching, miss
+    # coalescing, eviction order) into the timeline contract.
+    "zipf_cache_warmup": "18ff42fac27a7dff8992d03c7d9e51a4",
 }
 
 

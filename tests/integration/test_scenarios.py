@@ -46,12 +46,14 @@ ALL_NAMES = (
     "flapping_spine",
     "breaker_asymmetric_partition",
     "bulkhead_noisy_neighbor",
+    "zipf_cache_warmup",
+    "cache_offload_star",
 )
 
 #: Production-scale entries too expensive for the run+replay double
 #: execution; they get a single invariants run below.
 LARGE_NAMES = ("large_ring_128", "large_ring_256", "two_ring_256",
-               "four_ring_512", "two_path_256")
+               "four_ring_512", "two_path_256", "cache_offload_star")
 
 #: Entries cheap enough for the run+replay double execution.
 REPLAY_NAMES = tuple(n for n in ALL_NAMES if n not in LARGE_NAMES)

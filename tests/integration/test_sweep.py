@@ -131,6 +131,24 @@ def test_cli_grid_prints_expansion_without_running(capsys):
     assert "2 runs" in out
 
 
+def test_committed_s1_sweep_covers_ten_seeds():
+    """The committed reference sweep must keep its widened seed axis:
+    seed-sensitivity claims read from S1 need the statistical width,
+    and the CI sweep-smoke job regenerates exactly this grid."""
+    import pathlib
+
+    path = (pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "results" / "S1.json")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    seeds = payload["params"]["seeds"]
+    assert len(seeds) >= 10
+    assert len(set(seeds)) == len(seeds)
+    assert {7, 11, 23} <= set(seeds)  # the original three are retained
+    assert payload["params"]["scenarios"] == [
+        "diurnal_ramp", "failover_under_load",
+    ]
+
+
 def test_grid_from_names_runs_sized_scenarios():
     grid = grid_from_names(["quiet_ring"], seeds=[4], sizes=[8])
     records = run_grid(grid, workers=1)

@@ -1,0 +1,65 @@
+"""Schema regression for committed bench emissions.
+
+The F3 trajectory once drifted because the scenario serialisation grew
+keys the committed JSON did not have — re-emitting the bench produced a
+spurious diff.  This pins the contract from the unit side: the spec a
+bench embeds today serialises to exactly what is committed, and new
+*optional* spec features (resilience, caching...) must stay invisible
+in emissions that never asked for them.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parents[3]
+_BENCH = _ROOT / "benchmarks" / "bench_f3_alltoall_no_drops.py"
+_RESULT = _ROOT / "benchmarks" / "results" / "F3.json"
+
+# bench modules import their sibling ``harness`` by bare name
+if str(_BENCH.parent) not in sys.path:
+    sys.path.insert(0, str(_BENCH.parent))
+
+_spec = importlib.util.spec_from_file_location("bench_f3", _BENCH)
+bench_f3 = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_f3)
+
+
+def normalise(obj):
+    """Tuples serialise as JSON arrays; compare in JSON space."""
+    return json.loads(json.dumps(obj, default=list))
+
+
+def committed():
+    return json.loads(_RESULT.read_text(encoding="utf-8"))
+
+
+def test_committed_f3_embeds_todays_serialisation():
+    payload = committed()
+    sizes = payload["params"]["sizes"]
+    fresh = [normalise(bench_f3.storm_spec(n).to_dict()) for n in sizes]
+    assert payload["scenarios"] == fresh, (
+        "spec serialisation drifted from the committed F3 emission — "
+        "re-run the bench and commit the result (or fix to_dict)"
+    )
+
+
+def test_emitted_scenarios_carry_no_optional_feature_keys():
+    for scenario in committed()["scenarios"]:
+        assert "cache" not in scenario
+        assert "resilience" not in scenario
+        for router in scenario["topology"].get("routers", []):
+            assert "cache" not in router
+            assert "resilience" not in router
+
+
+def test_emission_envelope_shape():
+    payload = committed()
+    assert payload["schema"] == "repro-bench/1"
+    assert payload["exp"] == "F3"
+    assert list(payload["scenarios"][0]) == [
+        "name", "description", "topology", "seed", "membership",
+        "membership_liveness", "workloads", "faults", "horizon_tours",
+        "grace_tours", "invariants", "expect_dead",
+    ]
