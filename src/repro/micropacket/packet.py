@@ -140,9 +140,10 @@ class DmaControl:
         byte 0      DMA channel (0..15, low nibble); high nibble carries
                     the global-address *destination segment* (value+1,
                     0 = unrouted)
-        byte 1      transfer flags (bit0 = last cell of transfer); the
-                    high nibble carries the *source segment* (value+1,
-                    0 = none); bits 1..3 remain reserved
+        byte 1      transfer flags (bit0 = last cell of transfer,
+                    bit1 = cluster-scoped broadcast); the high nibble
+                    carries the *source segment* (value+1, 0 = none);
+                    bits 2..3 remain reserved
         bytes 2..5  destination region offset (little-endian u32).  For
                     routed packets the offset is 24-bit (bytes 2..4) and
                     byte 5 carries the *source node id* of the original
@@ -168,6 +169,13 @@ class DmaControl:
     src_segment: Optional[int] = None
     src_node: Optional[int] = None
     dst_segment: Optional[int] = None
+    #: cluster-scoped broadcast: deliver on every ring member of every
+    #: segment.  Routers fan the transfer out over the spanning tree;
+    #: ``dst_segment`` stays None (the frame is local traffic on every
+    #: ring it tours) and ``(src_segment, src_node)`` names the origin
+    #: for end-to-end dedup.  Rides reserved bit 1 of the flags byte,
+    #: so packets without it pack byte-identically as before.
+    cluster_broadcast: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.channel <= 15:
@@ -188,6 +196,17 @@ class DmaControl:
                 )
         if self.src_node is not None and not 0 <= self.src_node <= 0xFE:
             raise ValueError(f"source node id {self.src_node} out of range 0..254")
+        if self.cluster_broadcast:
+            if self.src_segment is None:
+                raise ValueError(
+                    "cluster broadcasts need the origin global address "
+                    "(src_segment/src_node) for end-to-end dedup"
+                )
+            if self.dst_segment is not None:
+                raise ValueError(
+                    "cluster broadcasts are segment-unscoped; "
+                    "dst_segment must stay None"
+                )
         if self.routed and self.offset > ROUTED_OFFSET_MAX:
             raise ValueError(
                 "routed packets carry a 24-bit offset (the top offset "
@@ -204,6 +223,8 @@ class DmaControl:
         if self.dst_segment is not None:
             byte0 |= (self.dst_segment + 1) << 4
         byte1 = 1 if self.last else 0
+        if self.cluster_broadcast:
+            byte1 |= 2
         if self.src_segment is not None:
             byte1 |= (self.src_segment + 1) << 4
             offset = self.offset.to_bytes(3, "little") + bytes([self.src_node])
@@ -231,6 +252,7 @@ class DmaControl:
             src_segment=src_nibble - 1 if src_nibble else None,
             src_node=src_node,
             dst_segment=dst_nibble - 1 if dst_nibble else None,
+            cluster_broadcast=bool(raw[1] & 2),
         )
 
 

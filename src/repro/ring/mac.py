@@ -399,10 +399,16 @@ class RingMAC:
 
         if self.capture is not None:
             dma = pkt.dma
-            if (
-                dma is not None
-                and dma.dst_segment is not None
-                and dma.dst_segment != self.segment_id
+            if dma is not None and (
+                (
+                    dma.dst_segment is not None
+                    and dma.dst_segment != self.segment_id
+                )
+                # Cluster-scoped broadcasts are *both* local traffic on
+                # every ring they tour and router-ferried: the gateway
+                # captures a copy for spanning-tree fan-out while the
+                # frame keeps delivering to local members below.
+                or dma.cluster_broadcast
             ):
                 counters.incr("rx_captured")
                 self.capture(pkt, frame)

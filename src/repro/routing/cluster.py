@@ -92,6 +92,127 @@ class RoutedClusterConfig:
                 out.append((ri, base + len(out)))
         return out
 
+    # ------------------------------------------------------- mesh builders
+    @classmethod
+    def star_mesh(
+        cls,
+        n_segments: int,
+        nodes_per_segment: int,
+        *,
+        redundancy: int = 0,
+        seed: int = 0,
+        trace: bool = True,
+        segment: Optional[ClusterConfig] = None,
+        router: Optional[RouterConfig] = None,
+    ) -> "RoutedClusterConfig":
+        """A hub-and-spoke mesh: one central router on every segment.
+
+        The central router attaches all ``n_segments`` rings, so every
+        cross-segment hop is a single crossing and no distance-vector
+        convergence is needed — which is what lets this shape scale to
+        the 3.8k-node addressing ceiling (15 segments x 254 users plus
+        one gateway each fills every ring to exactly 255 members).
+        ``redundancy`` adds that many standby central routers at
+        priority 240; the spanning-tree election blocks their ports
+        until the primary dies.
+        """
+        seg_template = segment or ClusterConfig()
+        rt_template = router or RouterConfig(segments=(0, 1))
+        all_segs = tuple(range(n_segments))
+        routers = [replace(rt_template, segments=all_segs, priority=64)]
+        for _ in range(redundancy):
+            routers.append(
+                replace(rt_template, segments=all_segs, priority=240)
+            )
+        return cls(
+            segments=[
+                replace(seg_template, n_nodes=nodes_per_segment)
+                for _ in range(n_segments)
+            ],
+            routers=routers,
+            seed=seed,
+            trace=trace,
+        )
+
+    @classmethod
+    def area_mesh(
+        cls,
+        n_areas: int,
+        segments_per_area: int,
+        nodes_per_segment: int,
+        *,
+        redundant_spokes: bool = False,
+        seed: int = 0,
+        trace: bool = True,
+        segment: Optional[ClusterConfig] = None,
+        router: Optional[RouterConfig] = None,
+    ) -> "RoutedClusterConfig":
+        """A hierarchical mesh: per-area hub stars joined by a border ring.
+
+        Area ``a`` (1-based; 0 stays the flat wire format) owns the
+        contiguous segment block ``[(a-1)*spa, a*spa)`` and gets one hub
+        router holding a port on each of its segments.  Border routers
+        stitch the areas together in a cycle — border ``i`` joins the
+        first segment of area ``i`` to the first segment of area
+        ``i+1`` — so inter-area traffic rides summaries, never flat
+        per-segment rows.  ``redundant_spokes`` adds a standby hub per
+        area at priority 240 (blocked until the primary hub dies).
+        """
+        if n_areas < 1:
+            raise ValueError("area mesh needs at least one area")
+        if n_areas > 255:
+            raise ValueError("areas are labelled 1..255")
+        seg_template = segment or ClusterConfig()
+        rt_template = router or RouterConfig(segments=(0, 1))
+        spa = segments_per_area
+
+        def area_segments(ai: int) -> Tuple[int, ...]:
+            return tuple(range(ai * spa, (ai + 1) * spa))
+
+        routers: List[RouterConfig] = []
+        for ai in range(n_areas):
+            routers.append(
+                replace(
+                    rt_template,
+                    segments=area_segments(ai),
+                    priority=64,
+                    area=ai + 1,
+                )
+            )
+            if redundant_spokes:
+                routers.append(
+                    replace(
+                        rt_template,
+                        segments=area_segments(ai),
+                        priority=240,
+                        area=ai + 1,
+                    )
+                )
+        if n_areas == 2:
+            border_pairs = [(0, 1)]
+        elif n_areas > 2:
+            border_pairs = [(ai, (ai + 1) % n_areas) for ai in range(n_areas)]
+        else:
+            border_pairs = []
+        for a, b in border_pairs:
+            routers.append(
+                replace(
+                    rt_template,
+                    segments=(a * spa, b * spa),
+                    priority=128,
+                    area=a + 1,
+                )
+            )
+        return cls(
+            segments=[
+                replace(seg_template, n_nodes=nodes_per_segment)
+                for _ in range(n_areas * spa)
+            ],
+            routers=routers,
+            seed=seed,
+            trace=trace,
+        )
+
 
 class RoutedCluster:
     """Builds and runs a router-joined multi-segment cluster."""

@@ -41,6 +41,27 @@ Four properties worth calling out:
   port`` (distance vector with split horizon).  A route that is not
   refreshed within the miss deadline is *withdrawn*, so a dead next-hop
   router stops attracting traffic instead of silently blackholing it.
+* **Mesh scale comes from hierarchical summarization.**  A flat
+  distance vector advertises one row per reachable segment, so ad bytes
+  per period grow with the cluster.  Routers labelled with an ``area``
+  switch the ad wire format to v3 (a version-escape byte; unlabelled
+  single-area clusters keep emitting the v2 bytes unchanged): specific
+  rows cover only the router's *own* area, and every other area is
+  compressed into one ``(area, segment-range, metric, period)`` summary
+  row — O(areas), not O(segments).  Receivers install specifics only
+  from same-area senders and route out-of-area traffic by summary-range
+  lookup, with split horizon applied at the summary level and each
+  summary aged against the refresh period it carries (a slow area must
+  not flap a fast peer's specifics, and vice versa).
+* **Cluster-scoped broadcasts fan out over the spanning tree.**  A
+  broadcast is normally ring-local; a transfer flagged
+  ``cluster_broadcast`` (the explicit ``broadcast_scope="cluster"``
+  opt-in) is additionally captured by every gateway and re-originated
+  on the router's other forwarding ports, so the converged spanning
+  tree delivers exactly one copy per segment; origin-keyed dedup
+  (router and messenger) absorbs transient extra copies while the tree
+  is still settling, and blocked routers shadow-park a copy for
+  failover just like unicast crossings.
 * **Redundant routers run a spanning-tree protocol.**  The router graph
   may contain cycles (two routers joining the same segment pair, ring
   triangles, ...).  Each advertisement carries the sender's bridge id
@@ -95,6 +116,10 @@ _COMPLETED_CACHE = 4096
 #: -> 655 ms range at 10 us per unit, far past any advertise period).
 _AGE_UNIT_NS = 10_000
 
+#: ``n_live`` sentinel marking an elided live list ("assume the whole
+#: segment live").  Real counts are capped well below it.
+_LIVE_ELIDED = 0xFF
+
 
 class PortRole(Enum):
     """Spanning-tree verdict for one router port."""
@@ -116,6 +141,11 @@ class RouterConfig:
     #: route/liveness advertisement period; None = derived from the
     #: largest attached segment's tour estimate
     advertise_period_ns: Optional[int] = None
+    #: advertisement period in *tours* of the largest attached segment —
+    #: scale-free alternative to ``advertise_period_ns`` (which wins if
+    #: both are set).  Large meshes set a small value here so DV/summary
+    #: convergence does not dominate the simulated span.
+    advertise_period_tours: Optional[float] = None
     #: spanning-tree election priority (lower wins; ties broken by
     #: router id).  The default leaves room on both sides.
     priority: int = 128
@@ -141,6 +171,12 @@ class RouterConfig:
     #: on-path content cache (see :class:`repro.caching.CacheConfig`);
     #: None (or enabled=False) = tap absent, bit-identical forwarding
     cache: Optional[CacheConfig] = None
+    #: routing area this router belongs to.  0 (the default) is the
+    #: flat single-area mode: ads keep the v2 wire format byte for
+    #: byte.  Meshes labelled with areas 1..255 advertise v3 ads with
+    #: per-area segment-range summaries instead of one row per remote
+    #: segment (see the module docstring).
+    area: int = 0
 
     def __post_init__(self) -> None:
         segs = tuple(self.segments)
@@ -163,6 +199,11 @@ class RouterConfig:
             raise ValueError("egress window must be >= 1")
         if not 0 <= self.priority <= 255:
             raise ValueError("router priority must fit one byte (0..255)")
+        if not 0 <= self.area <= 255:
+            raise ValueError("router area must fit one byte (0..255)")
+        if (self.advertise_period_tours is not None
+                and self.advertise_period_tours <= 0):
+            raise ValueError("advertise period must be a positive tour count")
         if self.miss_deadline_periods < 1:
             raise ValueError("miss deadline must be >= 1 advertise period")
         if self.max_root_age_periods <= self.miss_deadline_periods:
@@ -195,6 +236,10 @@ class _Crossing:
     #: this crossing has parked at least once (first park and re-parks
     #: are counted separately; see RouterPort.pump)
     parked: bool = False
+    #: cluster-scoped broadcast fan-out copy: re-originated via
+    #: ``send_cluster_broadcast`` (dst is ``(egress segment, BROADCAST)``
+    #: for queue bookkeeping only)
+    cluster_scope: bool = False
 
 
 @dataclass
@@ -208,6 +253,28 @@ class _Route:
     #: the advertising router's own period — its refresh cadence, which
     #: is what this route's staleness must be judged against
     period_ns: int = 0
+
+
+@dataclass
+class _Summary:
+    """A learned per-area segment-range summary route (v3 ads)."""
+
+    area: int
+    lo: int           # lowest segment id the summary covers
+    hi: int           # highest segment id the summary covers
+    metric: int       # hops to the area's border router
+    via: int          # port segment id the summary arrived on
+    router: int       # advertising router id (freshness tie-break)
+    last_heard: int = 0
+    #: the summary's own refresh cadence as carried on the wire — the
+    #: worst advertise period along its relay path, which is what its
+    #: staleness must be judged against (NOT the relaying peer's header
+    #: period: a slow origin area must not flap, and a slow summary
+    #: must not drag out the expiry of the fast peer's specifics)
+    period_ns: int = 0
+
+    def covers(self, segment: int) -> bool:
+        return self.lo <= segment <= self.hi
 
 
 @dataclass
@@ -232,6 +299,11 @@ class _Shadow:
     ingress: int
     crossing: _Crossing
     parked_at: int
+    #: this shadow holds the ONLY copy of its crossing (parked because
+    #: no route existed yet, not as a failover safety duplicate) — its
+    #: eviction or TTL expiry is real data loss and counts as an
+    #: unroutable drop
+    sole: bool = False
 
 
 class RouterPort:
@@ -373,13 +445,21 @@ class RouterPort:
                 # (appended behind the probe; drained by this same loop).
                 self._redrive_dead_letters(crossing.dst)
             controller.inserted(now)
-            handle = self.gateway.messenger.send_global(
-                crossing.dst,
-                crossing.payload,
-                crossing.channel,
-                origin=crossing.origin,
-                wire_tid=crossing.tid,
-            )
+            if crossing.cluster_scope:
+                handle = self.gateway.messenger.send_cluster_broadcast(
+                    crossing.payload,
+                    crossing.channel,
+                    origin=crossing.origin,
+                    wire_tid=crossing.tid,
+                )
+            else:
+                handle = self.gateway.messenger.send_global(
+                    crossing.dst,
+                    crossing.payload,
+                    crossing.channel,
+                    origin=crossing.origin,
+                    wire_tid=crossing.tid,
+                )
             handle.delivered.callbacks.append(self._confirmed)
             self.router.counters.incr("egress_tx")
         depth = len(self.queue)
@@ -581,16 +661,25 @@ class SegmentRouter:
     """Joins ring segments into one routed cluster (slide 15's "R")."""
 
     def __init__(self, router_id: int, config: RouterConfig):
+        if not 0 <= router_id <= 0xFE:
+            # 0xFF in the ad's first byte is the v3 version escape; a
+            # router id that packed to it would corrupt v2 parsing.
+            raise ValueError(f"router id {router_id} out of range 0..254")
         self.router_id = router_id
         self.config = config
         self.name = f"router-{router_id}"
         self.failed = False
         self.ports: Dict[int, RouterPort] = {}
         #: learned routes: destination segment -> _Route (attached
-        #: segments are implicit metric-0 routes through their port)
+        #: segments are implicit metric-0 routes through their port).
+        #: With areas in play this holds *intra-area* specifics only.
         self.table: Dict[int, _Route] = {}
+        #: learned per-area summary routes (v3 ads): area -> _Summary.
+        #: Empty in single-area mode — the wire-identity invariant.
+        self.summaries: Dict[int, _Summary] = {}
         #: gossip/roster liveness per *remote* segment, as advertised
-        self.remote_live: Dict[int, Set[int]] = {}
+        #: ``None`` records an elided live list ("assume all live")
+        self.remote_live: Dict[int, Optional[Set[int]]] = {}
         #: spanning-tree election state (self-rooted until ads arrive)
         self.root: Tuple[int, int] = self.bid
         self.root_cost = 0
@@ -694,6 +783,8 @@ class SegmentRouter:
         if self.config.advertise_period_ns is not None:
             return self.config.advertise_period_ns
         tour = max(p.cluster.tour_estimate_ns for p in self.ports.values())
+        if self.config.advertise_period_tours is not None:
+            return max(int(self.config.advertise_period_tours * tour), 1)
         return max(50 * tour, 200_000)
 
     @property
@@ -744,6 +835,7 @@ class SegmentRouter:
             return
         self.failed = False
         self.table.clear()
+        self.summaries.clear()
         self.remote_live.clear()
         for port in self.ports.values():
             port.peers.clear()
@@ -797,7 +889,14 @@ class SegmentRouter:
         """
         port = self.ports.get(segment_id)
         if port is None:
-            return set(self.remote_live.get(segment_id, ()))
+            known = self.remote_live.get(segment_id, set())
+            if known is None:
+                # Elided live list on the last ad: the advertiser's ring
+                # was past the wire cap, so answer "everything" — node
+                # ids are 8-bit, and reachability gating must not deny a
+                # node the advertiser simply could not enumerate.
+                return set(range(256))
+            return set(known)
         gw = port.gateway
         if gw.membership is not None:
             return {
@@ -861,6 +960,16 @@ class SegmentRouter:
         if len(self._completed) > _COMPLETED_CACHE:
             self._completed.popitem(last=False)
         self.counters.incr("messages_captured")
+        if dma.cluster_broadcast:
+            self.counters.incr("broadcasts_captured")
+            self._forward_broadcast(
+                ingress=segment_id,
+                origin=(dma.src_segment, dma.src_node),
+                payload=result,
+                channel=state.channel,
+                tid=dma.transfer_id,
+            )
+            return
         self._forward(
             ingress=segment_id,
             origin=(dma.src_segment, dma.src_node),
@@ -904,10 +1013,26 @@ class SegmentRouter:
                 # are routine and must never read as data-plane drops.
                 self.counters.incr("split_horizon_declines")
                 return
-            self.counters.incr("unroutable_drop")
+            # No route *yet*: the origin messenger's reliability window
+            # closed when this frame was captured off its ring, so
+            # dropping here would be permanent loss even for a purely
+            # transient gap (mesh summaries a few relay generations
+            # away, a withdrawn route one advertise period from
+            # returning).  Park the sole copy instead; every
+            # route/summary learned re-drains the shadow, and a
+            # crossing still unroutable at shadow TTL is counted as the
+            # drop it then genuinely is.
+            crossing = _Crossing(origin, dst, payload, channel, tid,
+                                 ingress=ingress)
+            # A blocked ingress means the ring's designated router owns
+            # this crossing — our parked copy is a failover duplicate,
+            # not the last copy, so its expiry must not read as loss.
+            sole = self.ports[ingress].role is PortRole.FORWARDING
+            self._shadow_park(ingress, crossing, sole=sole)
+            self.counters.incr("unroutable_parked")
             self.tracer.record(
                 self.sim.now, "routing", self.name,
-                event="unroutable", dst=dst, ingress=ingress,
+                event="unroutable_parked", dst=dst, ingress=ingress,
             )
             return
         crossing = _Crossing(origin, dst, payload, channel, tid,
@@ -953,6 +1078,73 @@ class SegmentRouter:
         elif shadow is not None:
             self.counters.incr("shadow_promoted")
 
+    def _forward_broadcast(
+        self,
+        ingress: int,
+        origin: GlobalAddress,
+        payload: bytes,
+        channel: int,
+        tid: int = 0,
+        shadow: Optional["_Shadow"] = None,
+    ) -> None:
+        """Fan a cluster-scoped broadcast out over the spanning tree.
+
+        The frame already toured (and delivered on) the ingress ring;
+        this re-originates one copy per *other* forwarding port.  On a
+        converged tree the forwarding ports span every segment exactly
+        once, so skipping blocked egress ports is pruning, not loss —
+        the segment behind a blocked port receives its copy from that
+        segment's designated router.  A blocked *ingress* means the
+        designated router of the ingress ring carries this broadcast;
+        like unicast crossings the whole fan-out is shadow-parked so a
+        failover can promote and replay it (duplicate copies the dead
+        router did deliver are absorbed by the origin-keyed dedup).
+        """
+        ingress_port = self.ports[ingress]
+        if ingress_port.role is not PortRole.FORWARDING:
+            if shadow is not None:
+                self.shadow.append(shadow)  # still blocked: keep holding
+                return
+            crossing = _Crossing(
+                origin, (ingress, BROADCAST), payload, channel, tid,
+                ingress=ingress, cluster_scope=True,
+            )
+            self._shadow_park(ingress, crossing)
+            return
+        deferred = False
+        for seg, port in self.ports.items():
+            if seg == ingress:
+                continue
+            if port.role is not PortRole.FORWARDING:
+                # The tree covers this segment via its designated router.
+                self.counters.incr("broadcast_pruned")
+                continue
+            crossing = _Crossing(
+                origin, (seg, BROADCAST), payload, channel, tid,
+                ingress=ingress, cluster_scope=True,
+            )
+            if port.enqueue(crossing):
+                self.counters.incr("broadcast_fanout")
+                continue
+            if shadow is not None:
+                deferred = True
+            else:
+                self.counters.incr("egress_overflow_drop")
+                self.tracer.record(
+                    self.sim.now, "routing", self.name,
+                    event="egress_overflow", dst=(seg, BROADCAST),
+                    egress=seg,
+                )
+        if shadow is not None:
+            if deferred:
+                # Part of the fan-out found its egress queue full: hold
+                # the shadow and retry (already-served segments dedup).
+                self.shadow.append(shadow)
+                self.counters.incr("shadow_deferred")
+                self._arm_shadow_retry()
+            else:
+                self.counters.incr("shadow_promoted")
+
     def _egress_for(self, ingress: int, dst_segment: int) -> Optional[int]:
         """Next-hop port for ``dst_segment``.
 
@@ -960,18 +1152,44 @@ class SegmentRouter:
         route points back out the ingress port (another router on that
         ring serves the crossing — the split-horizon half of loop
         freedom); ``None`` when no route exists at all.
+
+        Lookup order: attached port, specific (intra-area) route, then
+        the per-area summaries — a destination covered by a summary
+        range heads towards that area's border router, which holds the
+        specifics.  Specifics always win over summaries, so an in-range
+        but locally-known segment is never detoured.
         """
         if dst_segment in self.ports:
             return dst_segment if dst_segment != ingress else self._NOT_OURS
         route = self.table.get(dst_segment)
-        if route is None:
-            return None
-        if route.via == ingress:
-            return self._NOT_OURS
-        return route.via
+        if route is not None:
+            if route.via == ingress:
+                return self._NOT_OURS
+            return route.via
+        # Summary ranges from different areas may overlap (a border
+        # router's own-area summary spans its foreign attached ports
+        # too), so the globally best-metric summary can point back out
+        # the ingress while a slightly worse one offers a real detour.
+        # Preferring the best *forwardable* summary keeps such
+        # destinations reachable; we decline only when every covering
+        # summary points back where the frame came from.
+        best: Optional[_Summary] = None
+        covered = False
+        for summary in self.summaries.values():
+            if not summary.covers(dst_segment):
+                continue
+            covered = True
+            if summary.via == ingress:
+                continue
+            if best is None or summary.metric < best.metric:
+                best = summary
+        if best is not None:
+            return best.via
+        return self._NOT_OURS if covered else None
 
     # ----------------------------------------------------- shadow parking
-    def _shadow_park(self, ingress: int, crossing: _Crossing) -> None:
+    def _shadow_park(self, ingress: int, crossing: _Crossing,
+                     sole: bool = False) -> None:
         if len(self.shadow) >= self.shadow_capacity:
             evicted = self.shadow.popleft()
             self.counters.incr("shadow_evicted")
@@ -980,6 +1198,7 @@ class SegmentRouter:
                 event="shadow_evicted", dst=evicted.crossing.dst,
                 ingress=evicted.ingress,
             )
+            self._count_if_sole_loss(evicted)
             if self.res.dead_letter:
                 # Accounting record only: the shadow is a failover safety
                 # copy, not the authoritative crossing — nothing to
@@ -988,8 +1207,20 @@ class SegmentRouter:
                     None, "shadow_evicted", segment=evicted.ingress,
                     now=self.sim.now,
                 )
-        self.shadow.append(_Shadow(ingress, crossing, self.sim.now))
+        self.shadow.append(_Shadow(ingress, crossing, self.sim.now,
+                                   sole=sole))
         self.counters.incr("shadow_parked")
+
+    def _count_if_sole_loss(self, entry: "_Shadow") -> None:
+        """An evicted/expired *sole* shadow was the crossing's only
+        copy: that is the (deferred) unroutable drop."""
+        if entry.sole:
+            self.counters.incr("unroutable_drop")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="unroutable", dst=entry.crossing.dst,
+                ingress=entry.ingress,
+            )
 
     def _drain_shadow(self) -> None:
         """Re-offer every shadow-parked crossing to the forwarding path.
@@ -1005,8 +1236,12 @@ class SegmentRouter:
         pending, self.shadow = list(self.shadow), deque()
         for entry in pending:
             c = entry.crossing
-            self._forward(entry.ingress, c.origin, c.dst, c.payload,
-                          c.channel, c.tid, shadow=entry)
+            if c.cluster_scope:
+                self._forward_broadcast(entry.ingress, c.origin, c.payload,
+                                        c.channel, c.tid, shadow=entry)
+            else:
+                self._forward(entry.ingress, c.origin, c.dst, c.payload,
+                              c.channel, c.tid, shadow=entry)
 
     def _arm_shadow_retry(self) -> None:
         if self._shadow_retry_armed:
@@ -1039,6 +1274,7 @@ class SegmentRouter:
                 event="shadow_expired", dst=entry.crossing.dst,
                 ingress=entry.ingress,
             )
+            self._count_if_sole_loss(entry)
             if self.res.dead_letter:
                 self.dead_letter.consume(
                     None, "shadow_expired", segment=entry.ingress, now=now,
@@ -1168,6 +1404,17 @@ class SegmentRouter:
                 event="route_withdrawn", segment=seg, via=segment,
                 reason=reason,
             )
+        for area in [
+            a for a, s in self.summaries.items()
+            if s.via == segment and (router is None or s.router == router)
+        ]:
+            del self.summaries[area]
+            self.counters.incr("summaries_withdrawn")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="summary_withdrawn", area=area, via=segment,
+                reason=reason,
+            )
 
     def _expire_peers(self, now: int) -> None:
         """Declare silent peer routers dead and re-elect roles.
@@ -1214,6 +1461,23 @@ class SegmentRouter:
                 self.sim.now, "routing", self.name,
                 event="route_expired", segment=seg, via=route.via,
             )
+        # Summaries age on the refresh cadence they carry — the worst
+        # advertise period along their relay path — never on the header
+        # period of whichever peer happened to relay them last.  That is
+        # the asymmetry guard: a slow origin area does not flap, and it
+        # does not stretch the expiry of anyone's specifics (judged
+        # above on their own advertiser's cadence).
+        for area in [
+            a for a, summary in self.summaries.items()
+            if now - summary.last_heard
+            > periods * max(self.advertise_period_ns, summary.period_ns)
+        ]:
+            summary = self.summaries.pop(area)
+            self.counters.incr("summaries_expired")
+            self.tracer.record(
+                self.sim.now, "routing", self.name,
+                event="summary_expired", area=area, via=summary.via,
+            )
 
     # ----------------------------------------------------- advertisements
     def _advertise_tick(self) -> None:
@@ -1234,6 +1498,7 @@ class SegmentRouter:
             payload = self._encode_ad(port)
             port.gateway.messenger.send(BROADCAST, payload, Channel.ROUTING)
             self.counters.incr("ads_tx")
+            self.counters.incr("ad_bytes_tx", len(payload))
 
     def _schedule_readvertise(self) -> None:
         """Send ads out of cycle after a topology change (coalesced)."""
@@ -1249,11 +1514,41 @@ class SegmentRouter:
 
         self.sim.call_in(1, fire)
 
+    #: first ad byte announcing the v3 (summarized) wire format.  v2 ads
+    #: start with the router id, which is validated <= 0xFE, so the
+    #: escape can never collide with a legal v2 advertisement.
+    _AD_V3_ESCAPE = 0xFF
+
+    #: largest per-node live list an ad entry carries verbatim; bigger
+    #: segments ship the ``_LIVE_ELIDED`` sentinel instead, keeping ad
+    #: bytes O(areas + segments), never O(nodes)
+    _LIVE_LIST_CAP = 16
+
     def _encode_ad(self, out_port: RouterPort) -> bytes:
         """Advertisement for one segment: the spanning-tree header plus
         reachability entries (split horizon; blocked ports send the
-        header only — presence for failure detection, no routes)."""
+        header only — presence for failure detection, no routes).
+
+        Two wire formats share the channel:
+
+        * **v2 (flat)** — one row per reachable segment.  Emitted
+          whenever this router is unlabelled (``area == 0``) and has
+          learned no summaries: the byte-for-byte pre-summarization
+          format, which is what keeps every single-area scenario's
+          timeline (frame lengths included) wire-identical.
+        * **v3 (summarized)** — an escape byte, the sender's area, the
+          same flat rows for the sender's *own* area only, then one
+          ``(area, lo, hi, metric, period)`` summary row per other
+          reachable area.  The summary's period field carries the worst
+          refresh cadence along its relay path so receivers age each
+          summary on its own clock (see :class:`_Summary`).
+        """
         entries: List[Tuple[int, int, Set[int]]] = []
+        summaries: List[Tuple[int, int, int, int, int]] = []
+        v3 = self.config.area != 0 or bool(self.summaries)
+        period_units = min(
+            0xFFFF, -(-self.advertise_period_ns // _AGE_UNIT_NS)
+        )
         if out_port.role is PortRole.FORWARDING:
             for seg, port in self.ports.items():
                 if seg == out_port.segment_id:
@@ -1267,12 +1562,52 @@ class SegmentRouter:
                 if self.ports[route.via].role is not PortRole.FORWARDING:
                     continue  # we could not actually carry it that way
                 entries.append((seg, route.metric, self.live_in_segment(seg)))
+            if v3:
+                # Own-area summary: everything this router can reach by
+                # specifics *through this port's point of view*,
+                # compressed to a range.  Same-area receivers ignore it
+                # (they hold the specifics); border routers relay it
+                # onward, +1 metric per hop like any route.  The range
+                # only counts segments behind FORWARDING ports and
+                # excludes the segment being advertised onto: a border
+                # whose only path into its area is tree-blocked must not
+                # advertise an attractive dead summary, or every capture
+                # contest on the far ring picks the hole.  Same-area
+                # peers on one ring advertise complementary ranges;
+                # receivers merge equal-metric same-port rows.
+                covered = {
+                    seg for seg, port in self.ports.items()
+                    if seg != out_port.segment_id
+                    and port.role is PortRole.FORWARDING
+                }
+                covered |= {
+                    seg for seg, route in self.table.items()
+                    if route.via != out_port.segment_id
+                    and self.ports[route.via].role is PortRole.FORWARDING
+                }
+                if covered:
+                    summaries.append((
+                        self.config.area, min(covered), max(covered),
+                        0, period_units,
+                    ))
+                for summary in self.summaries.values():
+                    if summary.via == out_port.segment_id:
+                        continue  # summary-level split horizon
+                    if self.ports[summary.via].role is not PortRole.FORWARDING:
+                        continue
+                    carried_units = min(0xFFFF, max(
+                        -(-summary.period_ns // _AGE_UNIT_NS), period_units,
+                    ))
+                    summaries.append((
+                        summary.area, summary.lo, summary.hi,
+                        min(summary.metric, 0xFF), carried_units,
+                    ))
         root_priority, root_id = self.root
-        period_units = min(
-            0xFFFF, -(-self.advertise_period_ns // _AGE_UNIT_NS)
-        )
-        out = bytearray([
-            self.router_id & 0xFF,
+        out = bytearray()
+        if v3:
+            out.append(self._AD_V3_ESCAPE)
+        out += bytes([
+            self.router_id,
             self.config.priority & 0xFF,
             root_id & 0xFF,
             root_priority & 0xFF,
@@ -1280,36 +1615,89 @@ class SegmentRouter:
         ])
         out += period_units.to_bytes(2, "little")
         out += self._advertised_root_age_units().to_bytes(2, "little")
+        if v3:
+            out.append(self.config.area)
         out.append(len(entries))
         for seg, metric, live in entries:
-            live_ids = sorted(live)[:255]
-            out += bytes([seg, metric, len(live_ids)])
-            out += bytes(live_ids)
+            live_ids = sorted(live) if live is not None else None
+            if live_ids is None or len(live_ids) > self._LIVE_LIST_CAP:
+                # Elide the per-node live list past the cap: ad bytes
+                # must not scale with ring size, or one advertisement
+                # fragments across more tours than the staleness
+                # deadline allows and the mesh flaps itself apart.
+                # 0xFF marks "elided — assume the segment fully live";
+                # it cannot collide with a real count, which the cap
+                # keeps far below it.
+                out += bytes([seg, metric, _LIVE_ELIDED])
+            else:
+                out += bytes([seg, metric, len(live_ids)])
+                out += bytes(live_ids)
+        if v3:
+            out.append(len(summaries))
+            for area, lo, hi, metric, carried_units in summaries:
+                out += bytes([area, lo, hi, metric])
+                out += carried_units.to_bytes(2, "little")
         return bytes(out)
 
     @staticmethod
     def _decode_ad(
         payload: bytes,
     ) -> Tuple[int, int, Tuple[int, int], int, int, int,
-               List[Tuple[int, int, Set[int]]]]:
+               List[Tuple[int, int, Set[int]]], int,
+               List[Tuple[int, int, int, int, int]]]:
         """-> (router_id, priority, root bid, root cost, period ns,
-        root age ns, entries)."""
-        router_id, priority = payload[0], payload[1]
-        root = (payload[3], payload[2])  # (priority, id): lower wins
-        root_cost = payload[4]
-        period_ns = int.from_bytes(payload[5:7], "little") * _AGE_UNIT_NS
-        root_age_ns = int.from_bytes(payload[7:9], "little") * _AGE_UNIT_NS
-        n_entries = payload[9]
+        root age ns, entries, sender area, summaries).
+
+        Parses both wire formats: v3 when the escape byte leads,
+        otherwise v2 (sender area 0, no summaries) — so v3-speaking
+        routers interoperate with unlabelled v2 peers.  Summary periods
+        come back in nanoseconds like the header period.
+        """
+        v3 = payload[0] == SegmentRouter._AD_V3_ESCAPE
+        pos = 1 if v3 else 0
+        router_id, priority = payload[pos], payload[pos + 1]
+        root = (payload[pos + 3], payload[pos + 2])  # (priority, id)
+        root_cost = payload[pos + 4]
+        period_ns = (
+            int.from_bytes(payload[pos + 5 : pos + 7], "little") * _AGE_UNIT_NS
+        )
+        root_age_ns = (
+            int.from_bytes(payload[pos + 7 : pos + 9], "little") * _AGE_UNIT_NS
+        )
+        pos += 9
+        area = 0
+        if v3:
+            area = payload[pos]
+            pos += 1
+        n_entries = payload[pos]
+        pos += 1
         entries: List[Tuple[int, int, Set[int]]] = []
-        pos = 10
         for _ in range(n_entries):
             seg, metric, n_live = payload[pos], payload[pos + 1], payload[pos + 2]
             pos += 3
-            live = set(payload[pos : pos + n_live])
-            pos += n_live
+            if n_live == _LIVE_ELIDED:
+                live: Optional[Set[int]] = None
+            else:
+                live = set(payload[pos : pos + n_live])
+                pos += n_live
             entries.append((seg, metric, live))
+        summaries: List[Tuple[int, int, int, int, int]] = []
+        if v3:
+            n_summaries = payload[pos]
+            pos += 1
+            for _ in range(n_summaries):
+                s_area, lo, hi, metric = (
+                    payload[pos], payload[pos + 1],
+                    payload[pos + 2], payload[pos + 3],
+                )
+                s_period_ns = (
+                    int.from_bytes(payload[pos + 4 : pos + 6], "little")
+                    * _AGE_UNIT_NS
+                )
+                pos += 6
+                summaries.append((s_area, lo, hi, metric, s_period_ns))
         return (router_id, priority, root, root_cost, period_ns,
-                root_age_ns, entries)
+                root_age_ns, entries, area, summaries)
 
     def _make_ad_rx(self, port: RouterPort):
         def on_ad(src, payload: bytes, channel: int) -> None:
@@ -1322,7 +1710,8 @@ class SegmentRouter:
             return
         try:
             (router_id, priority, root, root_cost, period_ns,
-             root_age_ns, entries) = self._decode_ad(payload)
+             root_age_ns, entries, ad_area, ad_summaries) = \
+                self._decode_ad(payload)
         except IndexError:
             self.counters.incr("ads_malformed")
             return
@@ -1341,7 +1730,11 @@ class SegmentRouter:
         # they would be withdrawn on the role transition and silently
         # re-installed one period later, forever.  STP state above is
         # still processed: that is what blocked ports listen *for*.
-        if port.role is PortRole.FORWARDING:
+        # Specifics are additionally intra-area only: an out-of-area
+        # sender's rows are covered by its summary, and installing them
+        # would regrow the flat O(segments) table summarization exists
+        # to shed.
+        if port.role is PortRole.FORWARDING and ad_area == self.config.area:
             for seg, metric, live in entries:
                 if seg in self.ports:
                     continue  # directly attached beats any advertisement
@@ -1360,7 +1753,9 @@ class SegmentRouter:
                         via=ingress, metric=cost, router=router_id,
                         last_heard=now, period_ns=period_ns,
                     )
-                    self.remote_live[seg] = set(live)
+                    self.remote_live[seg] = (
+                        set(live) if live is not None else None
+                    )
                     if route is None:
                         learned = True
                         self.counters.incr("routes_learned")
@@ -1369,6 +1764,54 @@ class SegmentRouter:
                             event="route_learned", segment=seg,
                             via=ingress, metric=cost,
                         )
+        if port.role is PortRole.FORWARDING:
+            for s_area, lo, hi, metric, s_period_ns in ad_summaries:
+                if s_area == self.config.area:
+                    continue  # we hold this area's specifics ourselves
+                cost = metric + 1
+                summary = self.summaries.get(s_area)
+                is_refresh = (
+                    summary is not None
+                    and summary.via == ingress
+                    and summary.router == router_id
+                )
+                if summary is None or cost < summary.metric:
+                    self.summaries[s_area] = _Summary(
+                        area=s_area, lo=lo, hi=hi, metric=cost,
+                        via=ingress, router=router_id, last_heard=now,
+                        period_ns=s_period_ns,
+                    )
+                    if summary is None:
+                        learned = True
+                        self.counters.incr("summaries_learned")
+                        self.tracer.record(
+                            self.sim.now, "routing", self.name,
+                            event="summary_learned", area=s_area,
+                            lo=lo, hi=hi, via=ingress, metric=cost,
+                        )
+                elif summary.via == ingress and cost == summary.metric:
+                    # Same ring, same cost: same-area peers advertise
+                    # complementary ranges (each omits its blocked
+                    # ports and the segment it advertises onto), and
+                    # the one keyed slot must cover their union or the
+                    # capture contest on this ring parks traffic into
+                    # the gap.  Refreshes merge for the same reason —
+                    # bounds only shrink by expiry or withdrawal.
+                    widened = lo < summary.lo or hi > summary.hi
+                    summary.lo = min(summary.lo, lo)
+                    summary.hi = max(summary.hi, hi)
+                    summary.last_heard = now
+                    summary.period_ns = max(summary.period_ns, s_period_ns)
+                    if widened:
+                        learned = True  # new coverage may free shadows
+                elif is_refresh:
+                    # The metric on the path we already use legitimately
+                    # moved (either way): track the advertiser.
+                    self.summaries[s_area] = _Summary(
+                        area=s_area, lo=lo, hi=hi, metric=cost,
+                        via=ingress, router=router_id, last_heard=now,
+                        period_ns=s_period_ns,
+                    )
         self._recompute_roles()
         if learned:
             # Newly reachable segments may free shadowed traffic; drain

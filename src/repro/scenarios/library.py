@@ -740,6 +740,117 @@ def cache_offload_star() -> ScenarioSpec:
     )
 
 
+def mesh_routed_small() -> ScenarioSpec:
+    # The smallest hierarchical mesh: two areas of two 6-node segments,
+    # one hub router per area, one border router stitching the areas.
+    # Cross-area traffic rides v3 summaries (never flat per-segment
+    # rows) and a cluster-scoped broadcast floods all four rings over
+    # the converged spanning tree.  Routers advertise every 8 tours and
+    # streams hold 40 tours (several advertise periods) so the
+    # distance-vector/summary exchange settles first; this scenario is
+    # golden-pinned, so its timeline is the v3 wire format's regression
+    # anchor.
+    return ScenarioSpec(
+        name="mesh_routed_small",
+        description="Two-area hierarchical mesh: hub routers per area, "
+                    "a border router between them, summarized v3 ads "
+                    "carrying cross-area routes, pooled destinations "
+                    "and a cluster-scoped spanning-tree broadcast.",
+        topology=TopologySpec.area_mesh(2, 2, 6, advertise_period_tours=8),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=12, src=(0, 1), channel=12,
+                         reliable=True, name="mesh_pool",
+                         params={"mean_interval_ns": 60_000,
+                                 "start_tours": 40,
+                                 "dst_pool": [(1, 2), (2, 3), (3, 1)]}),
+            WorkloadSpec("message", count=8, src=(3, 2), dst=(0, 4),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 80_000,
+                                 "start_tours": 40}),
+            WorkloadSpec("cluster_broadcast", count=3, src=(1, 0),
+                         channel=3,
+                         params={"interval_ns": 120_000,
+                                 "start_tours": 40}),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=220,
+        grace_tours=600,
+    )
+
+
+def mesh_1k() -> ScenarioSpec:
+    # The banked ~1k-node tier: three areas of five 68-node segments
+    # (1020 user nodes; 1056 ring members with hub/border/standby
+    # gateways).  Redundant spokes give every area a blocked standby
+    # hub, so the shape exercises summarization and spanning-tree
+    # redundancy at once.  Loads stay light — the point is the routed
+    # control plane at scale, not throughput.
+    return ScenarioSpec(
+        name="mesh_1k",
+        description="The 1k-node mesh tier: 15 segments in three areas "
+                    "with redundant hub spokes; summarized routing, "
+                    "pooled cross-area traffic and a cluster broadcast.",
+        topology=TopologySpec.area_mesh(3, 5, 68, redundant_spokes=True,
+                                        advertise_period_tours=8),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=6, src=(0, 1), channel=12,
+                         reliable=True, name="mesh1k_pool",
+                         params={"mean_interval_ns": 150_000,
+                                 "start_tours": 40,
+                                 "dst_pool": [(5, 10), (7, 3), (12, 40),
+                                              (14, 7)]}),
+            WorkloadSpec("message", count=4, src=(10, 5), dst=(2, 60),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 200_000,
+                                 "start_tours": 40}),
+            WorkloadSpec("cluster_broadcast", count=2, src=(0, 0),
+                         channel=3,
+                         params={"interval_ns": 200_000,
+                                 "start_tours": 40}),
+        ),
+        invariants=("all_delivered", "roster_converged",
+                    "no_duplicate_deliveries"),
+        horizon_tours=75,
+        grace_tours=250,
+    )
+
+
+def mesh_4k() -> ScenarioSpec:
+    # The addressing ceiling: fifteen 254-user segments on one 15-port
+    # central router fills every ring to exactly 255 members — 3810
+    # user nodes, 3825 total.  Every segment is attached, so crossings
+    # need no distance-vector convergence and the workload can start at
+    # ring-up; counts are tiny because each crossing costs a ~280 us
+    # tour on two rings.
+    return ScenarioSpec(
+        name="mesh_4k",
+        description="The ~3.8k-node star tier: 15 rings of 255 members "
+                    "(254 users + the hub gateway) on one central "
+                    "router — the 4-bit segment space and 8-bit node "
+                    "space filled to their architectural ceiling.",
+        topology=TopologySpec.star_mesh(15, 254,
+                                        advertise_period_tours=8),
+        seed=7,
+        workloads=(
+            WorkloadSpec("poisson", count=4, src=(0, 1), dst=(7, 128),
+                         channel=12, reliable=True,
+                         params={"mean_interval_ns": 900_000}),
+            WorkloadSpec("message", count=3, src=(14, 250), dst=(3, 9),
+                         channel=13, reliable=True,
+                         params={"interval_ns": 1_000_000}),
+            WorkloadSpec("message", count=3, src=(8, 40), dst=(8, 200),
+                         channel=3, reliable=True,
+                         params={"interval_ns": 900_000}),
+        ),
+        invariants=("no_drops", "all_delivered", "roster_converged"),
+        horizon_tours=20,
+        grace_tours=120,
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     factory.__name__: factory
     for factory in (
@@ -765,6 +876,9 @@ SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         bulkhead_noisy_neighbor,
         zipf_cache_warmup,
         cache_offload_star,
+        mesh_routed_small,
+        mesh_1k,
+        mesh_4k,
     )
 }
 

@@ -30,6 +30,7 @@ from ..sim import Tracer
 from ..workloads import (
     AllToAllBroadcast,
     BurstStream,
+    ClusterBroadcastStream,
     FileStream,
     InhomogeneousPoissonStream,
     MessageStream,
@@ -244,9 +245,19 @@ class ScenarioRunner:
         assert cluster is not None
         name = w.name or f"{self.spec.name}.{w.kind}-{index}"
         params = dict(w.params)
+        start_tours = params.pop("start_tours", 0)
+        if start_tours:
+            if w.kind in ("file", "broadcast", "zipf", "trace_replay"):
+                raise ValueError(
+                    f"start_tours is not supported for {w.kind} workloads"
+                )
+            # Tour-relative like every other scenario time knob; meshes
+            # use it to hold multi-hop traffic until the routers'
+            # distance-vector exchange has converged.
+            params["start_ns"] = int(start_tours * cluster.tour_estimate_ns)
         pareto = params.pop("pareto_sizes", None)
         if pareto is not None:
-            if w.kind in ("file", "broadcast"):
+            if w.kind in ("file", "broadcast", "cluster_broadcast"):
                 raise ValueError(
                     f"pareto_sizes is not supported for {w.kind} workloads"
                 )
@@ -269,6 +280,11 @@ class ScenarioRunner:
         if w.kind == "broadcast":
             return AllToAllBroadcast(cluster, count_per_node=w.count,
                                      channel=w.channel)
+        if w.kind == "cluster_broadcast":
+            return ClusterBroadcastStream(
+                cluster, w.src, interval_ns=params.pop("interval_ns", 0),
+                count=w.count, channel=w.channel, name=name, **params,
+            )
         if w.kind == "poisson":
             return PoissonStream(
                 cluster, w.src, w.dst,
@@ -342,6 +358,8 @@ class ScenarioRunner:
         """(delivered, expected) for one workload object."""
         if isinstance(workload, AllToAllBroadcast):
             return workload.total_delivered(), workload.expected_deliveries()
+        if isinstance(workload, ClusterBroadcastStream):
+            return workload.stats.delivered, workload.expected_deliveries()
         expected = workload.count
         if getattr(workload, "dst", None) == BROADCAST:
             expected *= len(self.cluster.nodes) - 1

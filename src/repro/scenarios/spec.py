@@ -80,11 +80,24 @@ class RouterSpec:
     #: :class:`repro.caching.CacheConfig`); ``None`` keeps the
     #: forwarding path bit-identical to the cache-free router.
     cache: Optional[CacheConfig] = None
+    #: routing area (see :mod:`repro.routing.router`); 0 keeps the flat
+    #: single-area v2 advertisement wire format byte for byte, 1..255
+    #: opts the router into v3 per-area summarized advertisements.
+    area: int = 0
+    #: advertisement period in tours of the largest attached segment;
+    #: ``None`` keeps the router's 50-tour default.  Mesh scenarios set
+    #: a small value so route convergence does not dominate the run.
+    advertise_period_tours: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", tuple(self.segments))
         if not 0 <= self.priority <= 255:
             raise ValueError("router priority must fit one byte (0..255)")
+        if not 0 <= self.area <= 255:
+            raise ValueError("router area must fit one byte (0..255)")
+        if (self.advertise_period_tours is not None
+                and self.advertise_period_tours <= 0):
+            raise ValueError("advertise period must be a positive tour count")
         if self.resilience is not None and not isinstance(
             self.resilience, ResilienceConfig
         ):
@@ -137,6 +150,91 @@ class TopologySpec:
                         f"router references segment {seg}; topology has "
                         f"segments 0..{len(segments) - 1}"
                     )
+
+    # --------------------------------------------------- mesh shorthands
+    @classmethod
+    def star_mesh(
+        cls,
+        n_segments: int,
+        nodes_per_segment: int,
+        *,
+        redundancy: int = 0,
+        n_switches: int = 2,
+        fiber_m: float = 50.0,
+        advertise_period_tours: Optional[float] = None,
+    ) -> "TopologySpec":
+        """Hub-and-spoke: one central router attached to every segment
+        (plus ``redundancy`` priority-240 standbys).  Mirrors
+        :meth:`repro.routing.RoutedClusterConfig.star_mesh` so specs and
+        hand-built clusters describe the same wire topology."""
+        all_segs = tuple(range(n_segments))
+        apt = advertise_period_tours
+        routers = [
+            RouterSpec(segments=all_segs, priority=64,
+                       advertise_period_tours=apt)
+        ]
+        routers += [
+            RouterSpec(segments=all_segs, priority=240,
+                       advertise_period_tours=apt)
+            for _ in range(redundancy)
+        ]
+        return cls(
+            segments=tuple(
+                SegmentSpec(nodes_per_segment, n_switches, fiber_m)
+                for _ in range(n_segments)
+            ),
+            routers=tuple(routers),
+        )
+
+    @classmethod
+    def area_mesh(
+        cls,
+        n_areas: int,
+        segments_per_area: int,
+        nodes_per_segment: int,
+        *,
+        redundant_spokes: bool = False,
+        n_switches: int = 2,
+        fiber_m: float = 50.0,
+        advertise_period_tours: Optional[float] = None,
+    ) -> "TopologySpec":
+        """Hierarchical mesh: a hub star per area, areas stitched into a
+        border-router cycle, summaries carrying the inter-area routes.
+        Mirrors :meth:`repro.routing.RoutedClusterConfig.area_mesh`."""
+        spa = segments_per_area
+        apt = advertise_period_tours
+        routers = []
+        for ai in range(n_areas):
+            segs = tuple(range(ai * spa, (ai + 1) * spa))
+            routers.append(
+                RouterSpec(segments=segs, priority=64, area=ai + 1,
+                           advertise_period_tours=apt)
+            )
+            if redundant_spokes:
+                routers.append(
+                    RouterSpec(segments=segs, priority=240, area=ai + 1,
+                               advertise_period_tours=apt)
+                )
+        if n_areas == 2:
+            border_pairs = [(0, 1)]
+        elif n_areas > 2:
+            border_pairs = [(ai, (ai + 1) % n_areas) for ai in range(n_areas)]
+        else:
+            border_pairs = []
+        for a, b in border_pairs:
+            routers.append(
+                RouterSpec(
+                    segments=(a * spa, b * spa), priority=128, area=a + 1,
+                    advertise_period_tours=apt,
+                )
+            )
+        return cls(
+            segments=tuple(
+                SegmentSpec(nodes_per_segment, n_switches, fiber_m)
+                for _ in range(n_areas * spa)
+            ),
+            routers=tuple(routers),
+        )
 
     @property
     def multi_segment(self) -> bool:
@@ -212,6 +310,7 @@ WORKLOAD_KINDS = (
     "message",
     "file",
     "broadcast",
+    "cluster_broadcast",
     "poisson",
     "inhomogeneous_poisson",
     "burst",
@@ -234,6 +333,12 @@ class WorkloadSpec:
     ``message``                  ``interval_ns``
     ``file``                     ``chunk_bytes``, ``interval_ns``
     ``broadcast``                (none — ``count`` is per node)
+    ``cluster_broadcast``        ``interval_ns`` — one source node
+                                 (``src``) floods the whole routed
+                                 cluster ``count`` times over the
+                                 spanning tree; every other node
+                                 (gateways included) hears each flood
+                                 exactly once
     ``poisson``                  ``mean_interval_ns``
     ``inhomogeneous_poisson``    ``peak_interval_ns`` and a ``profile``
                                  mapping: ``{"shape": "sinusoidal",
@@ -263,6 +368,15 @@ class WorkloadSpec:
     from a dedicated ``workload.<name>.sizes`` random stream.  Sized
     payloads fragment through the messenger, so they require
     ``reliable=True``.
+
+    Two mesh-era params: the message-stream kinds (``message``,
+    ``poisson``, ``inhomogeneous_poisson``, ``burst``) accept a
+    ``dst_pool`` param — a list of destinations replacing ``dst``, one
+    drawn per message from a dedicated ``workload.<name>.dst`` stream
+    (requires ``reliable=True`` and an explicit ``name``) — and those
+    kinds plus ``cluster_broadcast`` accept ``start_tours``, a delay
+    before the first send that mesh scenarios use to hold multi-hop
+    traffic until the routers' distance-vector exchange has converged.
     """
 
     kind: str
@@ -306,8 +420,24 @@ class WorkloadSpec:
                     f"broadcast workloads take no params, got "
                     f"{sorted(self.params)}"
                 )
-        elif self.src is None or self.dst is None:
-            raise ValueError(f"{self.kind} workload needs src and dst")
+        elif self.kind == "cluster_broadcast":
+            if self.src is None:
+                raise ValueError("cluster_broadcast workloads need a src")
+            if self.dst is not None:
+                raise ValueError(
+                    "cluster_broadcast workloads take no dst (the whole "
+                    "routed cluster is the destination)"
+                )
+            if self.reliable:
+                raise ValueError(
+                    "cluster_broadcast workloads cannot be reliable "
+                    "(broadcasts have no ack path)"
+                )
+        elif self.src is None or (
+            self.dst is None and "dst_pool" not in self.params
+        ):
+            raise ValueError(f"{self.kind} workload needs src and dst "
+                             "(or a dst_pool param)")
         if self.kind in CONTENT_WORKLOAD_KINDS and not self.reliable:
             raise ValueError(
                 f"{self.kind} workloads are messenger-carried "
@@ -530,7 +660,16 @@ class ScenarioSpec:
                     "broadcast workloads are per-ring; use one scenario "
                     "per segment or unicast mixes on routed topologies"
                 )
-            if multi and not workload.reliable:
+            if workload.kind == "cluster_broadcast" and not multi:
+                raise ValueError(
+                    "cluster_broadcast workloads need a multi-segment "
+                    "topology (single rings use the broadcast kind)"
+                )
+            if (
+                multi
+                and not workload.reliable
+                and workload.kind != "cluster_broadcast"
+            ):
                 raise ValueError(
                     "multi-segment workloads must be reliable=True (raw "
                     "MAC cells carry no global address)"
@@ -626,6 +765,8 @@ class ScenarioSpec:
                         priority=r.priority,
                         resilience=r.resilience,
                         cache=r.cache,
+                        area=r.area,
+                        advertise_period_tours=r.advertise_period_tours,
                     )
                     for r in self.topology.routers
                 ],
@@ -685,4 +826,10 @@ class ScenarioSpec:
         for router in out["topology"]["routers"]:
             if router.get("cache") is None:
                 router.pop("cache", None)
+            if not router.get("area"):
+                # Flat single-area routers omit the field so every
+                # pre-mesh emission keeps its exact committed schema.
+                router.pop("area", None)
+            if router.get("advertise_period_tours") is None:
+                router.pop("advertise_period_tours", None)
         return out

@@ -1,8 +1,9 @@
 """Merge per-run results into one aggregate ``repro-bench/1`` emission.
 
 The aggregate is the sweep's whole product: per scenario, the
-distribution of every core metric across the seed axis (mean / p95 /
-min / max), with per-seed trace digests recorded so
+distribution of every core metric across the seed axis (mean with a
+bootstrap 95% confidence interval / p95 / min / max), with per-seed
+trace digests recorded so
 
 * a reader can tell exactly which runs produced a row, and
 * same-seed divergence is *detected*: a deterministic simulator must
@@ -23,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import random
 from typing import Any, Dict, List, Sequence, Tuple
 
 from .grid import SweepGrid
@@ -102,15 +104,48 @@ def _p95(sorted_values: Sequence[float]) -> float:
     return sorted_values[rank - 1]
 
 
+#: Bootstrap resamples behind every CI95 column.  Fixed (not
+#: configurable) so a given grid always emits byte-identical intervals.
+_BOOTSTRAP_RESAMPLES = 1000
+
+
+def _bootstrap_ci95(
+    scenario: str, metric: str, values: Sequence[float]
+) -> Tuple[float, float]:
+    """Percentile-bootstrap 95% CI of the mean over the seed axis.
+
+    The resampler is seeded from the (scenario, metric) pair — not the
+    process, the worker count, or the wall clock — so the interval is a
+    pure function of the per-seed values and re-emitting a sweep
+    reproduces S1.json byte for byte.  ``random.Random(str)`` hashes
+    its seed with a deterministic algorithm (not ``PYTHONHASHSEED``),
+    so the emission is stable across interpreter launches too.
+    """
+    n = len(values)
+    if n == 1:
+        return values[0], values[0]
+    rng = random.Random(f"ci95:{scenario}:{metric}")
+    means = sorted(
+        sum(values[rng.randrange(n)] for _ in range(n)) / n
+        for _ in range(_BOOTSTRAP_RESAMPLES)
+    )
+    lo_rank = max(1, -(-25 * _BOOTSTRAP_RESAMPLES // 1000))   # ceil 2.5%
+    hi_rank = max(1, -(-975 * _BOOTSTRAP_RESAMPLES // 1000))  # ceil 97.5%
+    return means[lo_rank - 1], means[hi_rank - 1]
+
+
 def _stat_row(scenario: str, metric: str,
               values: Sequence[float]) -> List[Any]:
     ordered = sorted(values)
     mean = sum(ordered) / len(ordered)
+    ci_lo, ci_hi = _bootstrap_ci95(scenario, metric, ordered)
     return [
         scenario,
         metric,
         len(ordered),
         round(mean, 3),
+        round(ci_lo, 3),
+        round(ci_hi, 3),
         round(_p95(ordered), 3),
         round(ordered[0], 3),
         round(ordered[-1], 3),
@@ -217,8 +252,8 @@ def aggregate_payload(
             "seeds": list(grid.seeds),
             "replicates": grid.replicates,
         },
-        "columns": ["scenario", "metric", "seeds", "mean", "p95",
-                    "min", "max"],
+        "columns": ["scenario", "metric", "seeds", "mean",
+                    "mean_ci95_lo", "mean_ci95_hi", "p95", "min", "max"],
         "rows": rows,
         "metrics": {
             "runs": len(cells),

@@ -179,6 +179,7 @@ class Messenger:
         dst: Union[int, GlobalAddress],
         payload: bytes,
         channel: int = Channel.GENERAL,
+        broadcast_scope: str = "segment",
     ) -> MessageHandle:
         """Queue a reliable message; the handle's event fires on confirm.
 
@@ -192,10 +193,73 @@ class Messenger:
         *local-ring acceptance* (the frame completed its tour, so a
         router holds it); end-to-end progress is then the routing
         layer's store-and-forward responsibility.
+
+        Broadcasts stop at the segment edge by default.  The explicit
+        opt-in ``broadcast_scope="cluster"`` (routed clusters only,
+        ``dst == BROADCAST``) marks the transfer cluster-scoped: the
+        segment routers fan it out over the spanning tree so every node
+        of every segment receives it exactly once (origin-keyed dedup
+        suppresses any transient extra copies).
         """
+        if broadcast_scope not in ("segment", "cluster"):
+            raise ValueError(
+                f"broadcast_scope must be 'segment' or 'cluster', "
+                f"got {broadcast_scope!r}"
+            )
+        if broadcast_scope == "cluster":
+            if dst != BROADCAST:
+                raise ValueError(
+                    "broadcast_scope='cluster' requires dst=BROADCAST"
+                )
+            return self.send_cluster_broadcast(payload, channel)
         if isinstance(dst, tuple):
             return self.send_global(dst, payload, channel)
         return self._send_fragments(dst, payload, channel, None, None)
+
+    def send_cluster_broadcast(
+        self,
+        payload: bytes,
+        channel: int = Channel.GENERAL,
+        origin: Optional[GlobalAddress] = None,
+        wire_tid: Optional[int] = None,
+    ) -> MessageHandle:
+        """Broadcast to every node of every segment (routed clusters).
+
+        The frame tours the local ring as an ordinary broadcast (every
+        local member delivers it; tour-as-ack confirms local acceptance)
+        while the set ``cluster_broadcast`` header bit makes the segment
+        routers capture it and re-originate it over the spanning tree
+        into every other segment.  ``origin``/``wire_tid`` follow
+        :meth:`send_global`'s contract: supplied only by a re-originating
+        gateway so the transfer's end-to-end identity stays stable.
+        """
+        if self.segment_id is None:
+            raise ValueError(
+                "cluster broadcasts need a routed cluster "
+                "(this node has no segment id)"
+            )
+        if origin is None:
+            origin = (self.segment_id, self.node.node_id)
+        handle = self._send_fragments(
+            BROADCAST, payload, channel, origin, None, wire_tid,
+            cluster_broadcast=True,
+        )
+        if origin != (self.segment_id, self.node.node_id):
+            # A re-originating gateway source-strips its own frame off
+            # the ring, so it would be the one cluster member that never
+            # hears the broadcast it relays.  Deliver locally, through
+            # the same origin-keyed dedup the receive path uses.
+            key = (origin[0], origin[1], wire_tid)
+            if key not in self._completed:
+                self._completed[key] = None
+                if len(self._completed) > _COMPLETED_CACHE:
+                    self._completed.popitem(last=False)
+                self.counters.incr("messages_received")
+                self.counters.incr("broadcast_self_deliveries")
+                handler = self._message_handlers[channel]
+                if handler is not None:
+                    handler(origin, payload, channel)
+        return handle
 
     def send_global(
         self,
@@ -241,6 +305,7 @@ class Messenger:
         origin: Optional[GlobalAddress],
         dst_segment: Optional[int],
         wire_tid: Optional[int] = None,
+        cluster_broadcast: bool = False,
     ) -> MessageHandle:
         if not payload:
             raise ValueError("empty message")
@@ -278,6 +343,7 @@ class Messenger:
                     src_segment=src_segment,
                     src_node=src_node,
                     dst_segment=dst_segment,
+                    cluster_broadcast=cluster_broadcast,
                 ),
             )
             handle.unconfirmed[offset] = pkt
@@ -357,6 +423,16 @@ class Messenger:
 
     def _on_dma(self, pkt: MicroPacket, frame) -> None:
         assert pkt.dma is not None
+        if (
+            pkt.dma.cluster_broadcast
+            and pkt.dma.src_segment == self.segment_id
+            and pkt.dma.src_node == self.node.node_id
+        ):
+            # A router fanning out our own cluster broadcast may reflect
+            # a copy back onto this ring before the spanning tree has
+            # settled; the origin never delivers to itself.
+            self.counters.incr("own_broadcast_echoes")
+            return
         # Ferried fragments are keyed by the *origin's* global address
         # and transfer id (stable across router re-originations): two
         # gateways replaying the same crossing — redundant routers

@@ -22,6 +22,7 @@ sequential workloads share one cluster without double-counting.
 
 from .generators import (
     AllToAllBroadcast,
+    ClusterBroadcastStream,
     FileStream,
     MessageStream,
     StreamStats,
@@ -50,6 +51,7 @@ from .stochastic import (
 __all__ = [
     "AllToAllBroadcast",
     "BurstStream",
+    "ClusterBroadcastStream",
     "ContentStream",
     "FileStream",
     "InhomogeneousPoissonStream",

@@ -17,7 +17,7 @@ the :meth:`MessageStream._gap_ns` hook.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..micropacket import BROADCAST, MicroPacket, MicroPacketType
 from ..sim import LatencyStat
@@ -30,6 +30,7 @@ __all__ = [
     "MessageStream",
     "FileStream",
     "AllToAllBroadcast",
+    "ClusterBroadcastStream",
     "run_slide7_mixed_workload",
 ]
 
@@ -67,19 +68,29 @@ class MessageStream:
     messenger instead of raw MAC cells: deliveries then survive ring
     teardowns via the messenger's retransmission, which is what fault
     scenarios need to assert "everything offered arrived".
+
+    ``dst_pool`` replaces the single ``dst`` with a set of candidate
+    destinations: each message picks one uniformly from a dedicated
+    ``workload.<name>.dst`` random stream (deterministic under the
+    master seed, and isolated so pooling never perturbs the arrival
+    draws).  Pools are how routed scenarios spray traffic across
+    ``(segment, node)`` addresses; they require ``reliable=True`` and an
+    explicit ``name``.
     """
 
     def __init__(
         self,
         cluster: "AmpNetCluster",
         src: int,
-        dst: int,
+        dst: Optional[int],
         interval_ns: int,
         count: int,
         channel: int = 0,
         name: Optional[str] = None,
         reliable: bool = False,
         size_fn: Optional[Callable[[int], int]] = None,
+        dst_pool: Optional[Sequence] = None,
+        start_ns: int = 0,
     ):
         self.cluster = cluster
         self.src = src
@@ -88,6 +99,10 @@ class MessageStream:
         self.count = count
         self.channel = channel
         self.reliable = reliable
+        #: delay before the first send — mesh scenarios use it to hold
+        #: multi-hop traffic until the routers' distance-vector exchange
+        #: has had a few advertise periods to converge.
+        self.start_ns = start_ns
         #: optional per-message payload size hook (seq -> bytes); sizes
         #: above one cell require the messenger's fragmentation, so a
         #: sized stream must be reliable (see ParetoSizeMixin).
@@ -98,6 +113,27 @@ class MessageStream:
             raise ValueError(
                 "size_fn payloads exceed one fixed cell; use reliable=True"
             )
+        if dst_pool is not None:
+            if dst is not None:
+                raise ValueError("dst and dst_pool are mutually exclusive")
+            if not reliable:
+                raise ValueError("dst_pool streams must be reliable=True")
+            if name is None:
+                raise ValueError("dst_pool streams need an explicit name "
+                                 "(it seeds the destination stream)")
+            pool = [tuple(d) if isinstance(d, list) else d for d in dst_pool]
+            if not pool:
+                raise ValueError("dst_pool must not be empty")
+            if src in pool:
+                raise ValueError("dst_pool must not contain the source")
+            if len(set(pool)) != len(pool):
+                raise ValueError("dst_pool entries must be distinct")
+            self._dst_rng = cluster.sim.rng.stream(f"workload.{name}.dst")
+            self.dst_pool: Optional[List] = pool
+        elif dst is None:
+            raise ValueError("stream needs a dst (or a dst_pool)")
+        else:
+            self.dst_pool = None
         self.stats = StreamStats(name or f"msg-{src}->{dst}")
         #: simulated send instant of every offered packet (tests and the
         #: stochastic property suite assert on arrival processes)
@@ -110,6 +146,12 @@ class MessageStream:
 
     # ------------------------------------------------------------ receive
     def _install_rx(self) -> None:
+        if self.dst_pool is not None:
+            for dst in self.dst_pool:
+                self.cluster.nodes[dst].messenger.on_message(
+                    self.channel, self._rx_reliable
+                )
+            return
         if self.reliable:
             self.cluster.nodes[self.dst].messenger.on_message(
                 self.channel, self._rx_reliable
@@ -128,7 +170,10 @@ class MessageStream:
         if self.closed:
             return
         self.closed = True
-        if self.reliable:
+        if self.dst_pool is not None:
+            for dst in self.dst_pool:
+                self.cluster.nodes[dst].messenger.off_message(self.channel)
+        elif self.reliable:
             self.cluster.nodes[self.dst].messenger.off_message(self.channel)
         for node in self._rx_nodes:
             node.unregister_default(self._rx)
@@ -167,15 +212,23 @@ class MessageStream:
         size = max(8, int(self.size_fn(seq)))
         return header + bytes((seq + i) % 256 for i in range(size - 8))
 
+    def _dst_for(self, seq: int):
+        """Destination of packet ``seq`` (drawn from the pool if any)."""
+        if self.dst_pool is None:
+            return self.dst
+        return self.dst_pool[self._dst_rng.randrange(len(self.dst_pool))]
+
     def _tx(self):
         sim = self.cluster.sim
         node = self.cluster.nodes[self.src]
+        if self.start_ns:
+            yield sim.timeout(self.start_ns)
         for seq in range(self.count):
             payload = self._payload_for(seq)
             self.tx_times.append(sim.now)
             if self.reliable:
                 self._sent_at[payload[:8]] = sim.now
-                node.messenger.send(self.dst, payload, self.channel)
+                node.messenger.send(self._dst_for(seq), payload, self.channel)
             else:
                 pkt = MicroPacket(
                     ptype=MicroPacketType.DATA,
@@ -325,6 +378,102 @@ class AllToAllBroadcast:
 
     def complete(self) -> bool:
         return self.total_delivered() >= self.expected_deliveries()
+
+
+class ClusterBroadcastStream:
+    """One node floods the whole routed cluster over the spanning tree.
+
+    Each of the ``count`` broadcasts is sent with the explicit
+    ``broadcast_scope="cluster"`` opt-in: the frame tours the source's
+    ring like any broadcast, and the segment routers re-originate it
+    into every other segment exactly once (converged tree; origin-keyed
+    dedup absorbs pre-convergence transients).  Every *other* node of
+    the cluster — gateway nodes included — counts each flood once, so
+    :meth:`expected_deliveries` is ``count * (n_nodes - 1)``.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        src,
+        interval_ns: int,
+        count: int,
+        channel: int = 0,
+        name: Optional[str] = None,
+        start_ns: int = 0,
+    ):
+        self.cluster = cluster
+        self.src = tuple(src)
+        self.interval_ns = interval_ns
+        self.count = count
+        self.channel = channel
+        self.start_ns = start_ns
+        self.stats = StreamStats(
+            name or f"cbcast-{self.src[0]}.{self.src[1]}"
+        )
+        self.tx_times: List[int] = []
+        self._sent_at: Dict[bytes, int] = {}
+        #: per-node delivery tally, for the exactly-once assertions
+        self.per_node_delivered: Dict = {
+            addr: 0 for addr in cluster.nodes
+        }
+        self.closed = False
+        for node in cluster.nodes.values():
+            node.messenger.on_message(channel, self._rx_factory(node))
+        self._proc = cluster.sim.process(self._tx(), name=self.stats.name)
+
+    def close(self) -> None:
+        """Release the channel on every node (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for node in self.cluster.nodes.values():
+            node.messenger.off_message(self.channel)
+
+    def _rx_factory(self, node):
+        me = (node.messenger.segment_id, node.node_id)
+
+        def rx(src, payload: bytes, channel: int) -> None:
+            if src != self.src:
+                return
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += len(payload)
+            self.per_node_delivered[me] += 1
+            start = self._sent_at.get(payload[:8])
+            if start is not None:
+                self.stats.latency.add(self.cluster.sim.now - start)
+
+        return rx
+
+    def _tx(self):
+        sim = self.cluster.sim
+        messenger = self.cluster.nodes[self.src].messenger
+        if self.start_ns:
+            yield sim.timeout(self.start_ns)
+        for seq in range(self.count):
+            payload = seq.to_bytes(8, "little")
+            self.tx_times.append(sim.now)
+            self._sent_at[payload[:8]] = sim.now
+            messenger.send(
+                BROADCAST, payload, self.channel, broadcast_scope="cluster"
+            )
+            self.stats.offered += 1
+            yield sim.timeout(max(0, self.interval_ns))
+
+    # ------------------------------------------------------------- queries
+    def expected_deliveries(self) -> int:
+        return self.count * (len(self.cluster.nodes) - 1)
+
+    def complete(self) -> bool:
+        return self.stats.delivered >= self.expected_deliveries()
+
+    def duplicate_deliveries(self) -> int:
+        """Deliveries beyond exactly-once per node (0 on a settled tree)."""
+        return sum(
+            max(0, n - self.count)
+            for addr, n in self.per_node_delivered.items()
+            if addr != self.src
+        )
 
 
 def run_slide7_mixed_workload(cluster: "AmpNetCluster", duration_tours: int = 400):

@@ -162,6 +162,7 @@ class PoissonStream(MessageStream):
         name: Optional[str] = None,
         reliable: bool = False,
         size_fn: Optional[Callable[[int], int]] = None,
+        **kwargs,
     ):
         if mean_interval_ns <= 0:
             raise ValueError("mean_interval_ns must be positive")
@@ -171,6 +172,7 @@ class PoissonStream(MessageStream):
         super().__init__(
             cluster, src, dst, interval_ns=mean_interval_ns, count=count,
             channel=channel, name=name, reliable=reliable, size_fn=size_fn,
+            **kwargs,
         )
 
     def _gap_ns(self, seq: int) -> int:
@@ -199,6 +201,7 @@ class InhomogeneousPoissonStream(MessageStream):
         name: Optional[str] = None,
         reliable: bool = False,
         size_fn: Optional[Callable[[int], int]] = None,
+        **kwargs,
     ):
         if peak_interval_ns <= 0:
             raise ValueError("peak_interval_ns must be positive")
@@ -209,6 +212,7 @@ class InhomogeneousPoissonStream(MessageStream):
         super().__init__(
             cluster, src, dst, interval_ns=peak_interval_ns, count=count,
             channel=channel, name=name, reliable=reliable, size_fn=size_fn,
+            **kwargs,
         )
 
     def _gap_ns(self, seq: int) -> int:
@@ -249,6 +253,7 @@ class BurstStream(MessageStream):
         name: Optional[str] = None,
         reliable: bool = False,
         size_fn: Optional[Callable[[int], int]] = None,
+        **kwargs,
     ):
         if burst_mean < 1:
             raise ValueError("burst_mean must be >= 1")
@@ -263,6 +268,7 @@ class BurstStream(MessageStream):
         super().__init__(
             cluster, src, dst, interval_ns=intra_gap_ns, count=count,
             channel=channel, name=name, reliable=reliable, size_fn=size_fn,
+            **kwargs,
         )
         self._left_in_burst = self._draw_burst()
 

@@ -42,6 +42,10 @@ GOLDEN = {
     # cache pins the content protocol (request/response matching, miss
     # coalescing, eviction order) into the timeline contract.
     "zipf_cache_warmup": "18ff42fac27a7dff8992d03c7d9e51a4",
+    # The mesh wave's golden: a two-area mesh pins the v3 ad format,
+    # area summarization, inter-area forwarding and cluster-scoped
+    # broadcast into the timeline contract.
+    "mesh_routed_small": "e999a8cbc9ffc4b1d0e7e354cacd6abb",
 }
 
 

@@ -212,9 +212,16 @@ def test_liveness_crosses_the_router_via_advertisements():
 
 def test_unroutable_destination_is_counted_not_crashed():
     cluster = build(n_segments=2)
+    router = cluster.routers[0]
     cluster.nodes[(0, 0)].messenger.send((9, 1), b"to nowhere", CH)
     settle(cluster)
-    assert cluster.routers[0].counters["unroutable_drop"] == 1
+    # The sole copy parks first (a route may still be converging) ...
+    assert router.counters["unroutable_parked"] == 1
+    assert router.counters["unroutable_drop"] == 0
+    # ... and only its shadow-TTL expiry is the real, counted drop.
+    ttl = router.config.shadow_ttl_periods * router.advertise_period_ns
+    cluster.run(until=cluster.sim.now + ttl + 2 * router.advertise_period_ns)
+    assert router.counters["unroutable_drop"] == 1
     assert cluster.router_drop_count() == 1
 
 
@@ -512,10 +519,14 @@ def test_stale_routes_are_withdrawn_when_the_next_hop_dies():
     cluster.run(until=cluster.sim.now + 5 * r0.advertise_period_ns)
     assert 2 not in r0.table
     assert r0.counters["routes_expired"] + r0.counters["routes_withdrawn"] >= 1
-    # Crossings for the vanished segment are now counted unroutable
-    # (visible) rather than silently queueing behind a dead route.
+    # Crossings for the vanished segment shadow-park (visible, and
+    # recoverable if the route returns) rather than silently queueing
+    # behind a dead route; only shadow-TTL expiry counts them dropped.
     cluster.nodes[(0, 1)].messenger.send((2, 1), b"nowhere now", CH)
     settle(cluster, tours=200)
+    assert r0.counters["unroutable_parked"] == 1
+    ttl = r0.config.shadow_ttl_periods * r0.advertise_period_ns
+    cluster.run(until=cluster.sim.now + ttl + 2 * r0.advertise_period_ns)
     assert r0.counters["unroutable_drop"] == 1
 
 

@@ -147,6 +147,19 @@ def test_committed_s1_sweep_covers_ten_seeds():
     assert payload["params"]["scenarios"] == [
         "diurnal_ramp", "failover_under_load",
     ]
+    # The bootstrap CI95 columns are part of the committed emission.
+    assert payload["columns"] == [
+        "scenario", "metric", "seeds", "mean",
+        "mean_ci95_lo", "mean_ci95_hi", "p95", "min", "max",
+    ]
+    for row in payload["rows"]:
+        _, _, _, mean, ci_lo, ci_hi, _, lowest, highest = row
+        assert lowest <= ci_lo <= mean <= ci_hi <= highest
+    # The seed axis actually moves failover latency, so its interval
+    # must be a real one, not a collapsed point.
+    wide = [r for r in payload["rows"]
+            if r[:2] == ["failover_under_load", "latency_mean_ns"]]
+    assert wide and wide[0][4] < wide[0][5]
 
 
 def test_grid_from_names_runs_sized_scenarios():

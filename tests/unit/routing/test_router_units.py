@@ -148,7 +148,7 @@ def test_advertisement_roundtrip():
     router.root_cost = 0
     payload = router._encode_ad(router.ports[0])
     (rid, priority, root, cost, period_ns, age_ns,
-     entries) = SegmentRouter._decode_ad(payload)
+     entries, area, summaries) = SegmentRouter._decode_ad(payload)
     assert rid == 3
     assert priority == 9
     assert root == (9, 3)
@@ -158,6 +158,9 @@ def test_advertisement_roundtrip():
     # Attached segment 1 is advertised into segment 0 (split horizon
     # suppresses segment 0 itself); liveness empty without a cluster.
     assert [(seg, metric) for seg, metric, _live in entries] == [(1, 0)]
+    # Single-area mode: the flat v2 format, no summaries on the wire.
+    assert area == 0
+    assert summaries == []
 
 
 def test_blocked_port_sends_presence_only():
@@ -165,7 +168,8 @@ def test_blocked_port_sends_presence_only():
     death would be noticed) but offers no reachability."""
     router = bare_router()
     router.ports[0].role = PortRole.BLOCKED
-    rid, _pri, _root, _cost, _period, _age, entries = SegmentRouter._decode_ad(
+    (rid, _pri, _root, _cost, _period, _age, entries, _area,
+     _summaries) = SegmentRouter._decode_ad(
         router._encode_ad(router.ports[0])
     )
     assert rid == 0
@@ -178,7 +182,7 @@ def test_live_set_rides_reachability_entries():
     router.table[7] = _Route(via=1, metric=1, router=5)
     payload = router._encode_ad(router.ports[0])
     (_rid, _pri, _root, _cost, _period, _age,
-     entries) = SegmentRouter._decode_ad(payload)
+     entries, _area, _summaries) = SegmentRouter._decode_ad(payload)
     assert (7, 1, {1, 2, 9}) in entries
 
 
@@ -409,7 +413,7 @@ def test_learned_routes_via_blocked_ports_are_not_advertised():
     router.table[7] = _Route(via=1, metric=1, router=5)
     router.ports[1].role = PortRole.BLOCKED
     payload = router._encode_ad(router.ports[0])
-    *_, entries = SegmentRouter._decode_ad(payload)
+    *_, entries, _area, _summaries = SegmentRouter._decode_ad(payload)
     assert all(seg != 7 for seg, _m, _l in entries)
 
 

@@ -76,12 +76,19 @@ def row_for(payload, scenario, metric):
 def test_stats_are_hand_computable():
     grid, records = grid_and_records(deliveries=(10, 20, 40))
     payload = aggregate_payload(grid, records, exp="S9")
-    # columns: scenario, metric, seeds, mean, p95, min, max
-    # nearest-rank p95 of 3 values is the max (ceil(0.95*3) = 3).
-    assert row_for(payload, "s", "delivered") == \
-        ["s", "delivered", 3, 23.333, 40, 10, 40]
-    assert row_for(payload, "s", "span_ns") == \
-        ["s", "span_ns", 3, 10000.0, 10000, 10000, 10000]
+    assert payload["columns"] == [
+        "scenario", "metric", "seeds", "mean",
+        "mean_ci95_lo", "mean_ci95_hi", "p95", "min", "max",
+    ]
+    # The CI columns are bootstrap draws — deterministic but not
+    # hand-computable, so check the arithmetic columns around them.
+    # Nearest-rank p95 of 3 values is the max (ceil(0.95*3) = 3).
+    row = row_for(payload, "s", "delivered")
+    assert row[:4] == ["s", "delivered", 3, 23.333]
+    assert row[6:] == [40, 10, 40]
+    row = row_for(payload, "s", "span_ns")
+    assert row[:4] == ["s", "span_ns", 3, 10000.0]
+    assert row[6:] == [10000, 10000, 10000]
     assert payload["metrics"] == {"runs": 3, "scenarios": 1,
                                   "failed_runs": 0}
     assert payload["params"] == {"scenarios": ["s"], "seeds": [1, 2, 3],
@@ -90,6 +97,28 @@ def test_stats_are_hand_computable():
     scenario = payload["scenarios"][0]
     assert scenario["ok"] is True
     assert scenario["digests"] == {"1": "d1", "2": "d2", "3": "d3"}
+
+
+def test_bootstrap_ci95_brackets_the_mean_deterministically():
+    grid, records = grid_and_records(deliveries=(10, 20, 40))
+    payload = aggregate_payload(grid, records, exp="S9")
+    row = row_for(payload, "s", "delivered")
+    mean, ci_lo, ci_hi, _, lowest, highest = row[3:]
+    # A percentile bootstrap over the observed seeds can never leave
+    # the observed range, and its interval brackets the sample mean.
+    assert lowest <= ci_lo <= mean <= ci_hi <= highest
+    assert ci_lo < ci_hi  # three distinct values -> a real interval
+    # Seeded resampling: re-aggregating the same records reproduces the
+    # interval bit for bit (the S1.json pinning contract).
+    again = aggregate_payload(grid, records, exp="S9")
+    assert row_for(again, "s", "delivered") == row
+
+
+def test_ci95_collapses_when_seeds_agree():
+    grid, records = grid_and_records(deliveries=(30, 30, 30))
+    payload = aggregate_payload(grid, records, exp="S9")
+    row = row_for(payload, "s", "delivered")
+    assert row[3:6] == [30.0, 30.0, 30.0]  # mean == ci_lo == ci_hi
 
 
 def test_latency_is_count_weighted_across_streams():
